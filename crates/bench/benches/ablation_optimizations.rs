@@ -1,0 +1,99 @@
+//! Ablation benchmark: how much the algorithmic ingredients matter.
+//!
+//! Three comparisons on the default (scaled) workload:
+//!
+//! * the straightforward **baseline** (d complete expansions + BNL) versus
+//!   **LSA** versus **CEA** for skyline queries — the paper's motivation for
+//!   local search in the first place;
+//! * **batch top-k** versus draining the **incremental** iterator to the same
+//!   `k` — the price of incrementality;
+//! * skyline via LSA at **zero buffer** versus a **2 % buffer** — how much of
+//!   LSA's multiple-read penalty the buffer absorbs (the effect CEA achieves
+//!   without any buffer at all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcn_bench::measure::bench_fixture;
+use mcn_core::prelude::*;
+use mcn_gen::{CostDistribution, WorkloadSpec};
+use mcn_storage::BufferConfig;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        nodes: 2500,
+        facilities: 1500,
+        cost_types: 4,
+        distribution: CostDistribution::AntiCorrelated,
+        clusters: 10,
+        queries: 4,
+        seed: 77,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (store, queries, d) = bench_fixture(&spec(), 0.01);
+    let q = queries[0];
+
+    let mut group = c.benchmark_group("ablation_skyline_algorithms");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            store.buffer().clear();
+            baseline_skyline(&store, q).facilities.len()
+        })
+    });
+    group.bench_function("LSA", |b| {
+        b.iter(|| {
+            store.buffer().clear();
+            skyline_query(&store, q, Algorithm::Lsa).facilities.len()
+        })
+    });
+    group.bench_function("CEA", |b| {
+        b.iter(|| {
+            store.buffer().clear();
+            skyline_query(&store, q, Algorithm::Cea).facilities.len()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_topk_incrementality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("batch_k8", |b| {
+        b.iter(|| {
+            store.buffer().clear();
+            topk_query(&store, q, WeightedSum::uniform(d), 8, Algorithm::Cea)
+                .entries
+                .len()
+        })
+    });
+    group.bench_function("incremental_k8", |b| {
+        b.iter(|| {
+            store.buffer().clear();
+            TopKIter::cea(store.clone(), q, WeightedSum::uniform(d))
+                .take(8)
+                .count()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_lsa_buffer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, fraction) in [("no_buffer", 0.0), ("buffer_2pct", 0.02)] {
+        group.bench_function(label, |b| {
+            store.set_buffer(BufferConfig::Fraction(fraction));
+            b.iter(|| {
+                store.buffer().clear();
+                skyline_query(&store, q, Algorithm::Lsa).facilities.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmark for Fig. 11(b) — top-k vs buffer size.
+//!
+//! Benchmarks a single top-k query (LSA vs CEA) at each x-axis value of
+//! the figure, on a workload scaled down from the paper's parameters. The full
+//! parameter sweep with averaged I/O tables is produced by the `experiments`
+//! binary (`cargo run -p mcn-bench --release --bin experiments -- topk-buf`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcn_bench::measure::{bench_fixture, run_single, QueryKind};
+use mcn_core::Algorithm;
+use mcn_gen::{CostDistribution, WorkloadSpec};
+
+fn base_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        nodes: 3600,
+        facilities: 2000,
+        cost_types: 4,
+        distribution: CostDistribution::AntiCorrelated,
+        clusters: 10,
+        queries: 4,
+        seed: 2010,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11b_topk_buffer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, spec, buffer, kind) in points() {
+        let (store, queries, d) = bench_fixture(&spec, buffer);
+        for algo in [Algorithm::Lsa, Algorithm::Cea] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), &label),
+                &algo,
+                |b, &algo| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let q = queries[i % queries.len()];
+                        i += 1;
+                        run_single(&store, q, d, kind, algo)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The x-axis values of Fig. 11(b): (label, workload, buffer fraction, query kind).
+fn points() -> Vec<(String, WorkloadSpec, f64, QueryKind)> {
+    let base = base_spec();
+    [0.0f64, 0.01, 0.02]
+        .into_iter()
+        .map(|buf| {
+            (
+                format!("buf{:.0}pct", buf * 100.0),
+                base.clone(),
+                buf,
+                QueryKind::TopK(4),
+            )
+        })
+        .collect()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

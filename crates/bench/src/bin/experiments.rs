@@ -1,0 +1,101 @@
+//! Command-line experiment runner.
+//!
+//! Reproduces the paper's Section VI figures as text tables:
+//!
+//! ```text
+//! experiments all                    # every figure at the default 1/50 scale
+//! experiments sky-p topk-k           # selected figures
+//! experiments all --scale 10         # closer to the paper's full size
+//! experiments all --queries 50       # more query locations per data point
+//! experiments all --latency-ms 10    # charge 10 ms per physical page read
+//! ```
+
+use mcn_bench::{render_table, Experiment, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print_usage();
+        return;
+    }
+
+    let mut config = ExperimentConfig::default();
+    let mut selected: Vec<Experiment> = Vec::new();
+    let mut run_all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "all" => run_all = true,
+            "--scale" => {
+                config.scale = expect_value(&args, &mut i, "--scale");
+            }
+            "--queries" => {
+                config.queries = Some(expect_value(&args, &mut i, "--queries"));
+            }
+            "--latency-ms" => {
+                let ms: f64 = expect_value(&args, &mut i, "--latency-ms");
+                config.latency = ms / 1000.0;
+            }
+            "--seed" => {
+                config.seed = expect_value(&args, &mut i, "--seed");
+            }
+            other => match Experiment::from_id(other) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("unknown experiment or flag: {other}");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            },
+        }
+        i += 1;
+    }
+    if run_all {
+        selected = Experiment::all().to_vec();
+    }
+    if selected.is_empty() {
+        eprintln!("nothing to run");
+        print_usage();
+        std::process::exit(2);
+    }
+
+    println!(
+        "# MCN preference-query experiments (scale 1/{}, {} ms per physical read, seed {})",
+        config.scale,
+        config.latency * 1000.0,
+        config.seed
+    );
+    println!(
+        "# Paper defaults scaled: {} nodes, {} facilities, d = {}, anti-correlated, {} queries/point\n",
+        config.base_spec().nodes,
+        config.base_spec().facilities,
+        config.base_spec().cost_types,
+        config.base_spec().queries
+    );
+    for experiment in selected {
+        let table = experiment.run(&config);
+        println!("{}", render_table(&table));
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments [all | <ids>...] [--scale N] [--queries N] [--latency-ms MS] [--seed S]\n\
+         experiment ids: {}",
+        Experiment::all()
+            .iter()
+            .map(|e| e.id())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

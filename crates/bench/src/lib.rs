@@ -1,0 +1,30 @@
+//! # mcn-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! Section VI evaluation, plus Criterion micro-benchmarks (one per figure).
+//!
+//! The paper's metric is total processing time on a real disk, which is
+//! dominated by I/O (84–95 %). This reproduction runs on a simulated
+//! in-memory disk, so for every data point the harness reports:
+//!
+//! * mean **physical page reads** per query (the paper's real cost driver),
+//! * mean **CPU time** per query,
+//! * mean **charged time** = CPU + physical reads × a configurable random-read
+//!   latency (default 5 ms, a 2010-era disk), which is the column to compare
+//!   against the paper's time axis,
+//! * buffer hit ratio, candidates, pinned facilities and result sizes.
+//!
+//! Workloads default to the paper's parameters scaled down by a configurable
+//! factor (50× by default) so the full sweep finishes in minutes; pass
+//! `--scale 1` to the `experiments` binary for the full-size configuration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use experiments::{all_experiments, Experiment, ExperimentConfig};
+pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
+pub use report::{render_table, ExperimentTable, Row};

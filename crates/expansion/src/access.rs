@@ -1,0 +1,267 @@
+//! Network access abstraction: how expansions read the disk-resident MCN.
+//!
+//! The difference between the paper's two algorithms is *purely* an access
+//! pattern:
+//!
+//! * **LSA** runs `d` independent expansions; each reads adjacency records and
+//!   facility lists straight from the store, so the same page may be fetched
+//!   up to `d` times (mitigated only by the LRU buffer).
+//! * **CEA** shares the physically fetched information among the `d`
+//!   expansions, guaranteeing that each node's adjacency record and each
+//!   edge's facility list is read from the store **at most once** per query.
+//!
+//! Both are expressed here as implementations of [`NetworkAccess`]:
+//! [`DirectAccess`] forwards every call to the store, while [`SharedAccess`]
+//! memoises the decoded records in an in-memory cache keyed by node / run, so
+//! a second request (from another expansion) never touches the buffer pool or
+//! the disk.
+
+use mcn_graph::{EdgeId, FacilityId, NodeId};
+use mcn_storage::store::{EdgeEndpoints, FacilityInfo};
+use mcn_storage::{AdjacencyList, FacilityRun, IoStats, MCNStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Read interface used by the expansion engine.
+pub trait NetworkAccess {
+    /// Number of cost types `d` of the underlying network.
+    fn num_cost_types(&self) -> usize;
+
+    /// The adjacency record of `node`.
+    fn adjacency(&self, node: NodeId) -> Arc<AdjacencyList>;
+
+    /// The facilities referenced by `run` as `(facility, position)` pairs.
+    fn facilities_in_run(&self, run: &FacilityRun) -> Arc<Vec<(FacilityId, f64)>>;
+
+    /// Facility-tree lookup.
+    fn facility_info(&self, facility: FacilityId) -> Option<FacilityInfo>;
+
+    /// Edge-index lookup.
+    fn edge_endpoints(&self, edge: EdgeId) -> Option<EdgeEndpoints>;
+
+    /// Current I/O statistics of the underlying store.
+    fn io_stats(&self) -> IoStats;
+}
+
+/// Pass-through access: every request goes to the store (LSA's behaviour).
+pub struct DirectAccess {
+    store: Arc<MCNStore>,
+}
+
+impl DirectAccess {
+    /// Creates a pass-through accessor over `store`.
+    pub fn new(store: Arc<MCNStore>) -> Self {
+        Self { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<MCNStore> {
+        &self.store
+    }
+}
+
+impl NetworkAccess for DirectAccess {
+    fn num_cost_types(&self) -> usize {
+        self.store.num_cost_types()
+    }
+
+    fn adjacency(&self, node: NodeId) -> Arc<AdjacencyList> {
+        Arc::new(self.store.adjacency(node))
+    }
+
+    fn facilities_in_run(&self, run: &FacilityRun) -> Arc<Vec<(FacilityId, f64)>> {
+        Arc::new(self.store.facilities_in_run(run))
+    }
+
+    fn facility_info(&self, facility: FacilityId) -> Option<FacilityInfo> {
+        self.store.facility_info(facility)
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> Option<EdgeEndpoints> {
+        self.store.edge_endpoints(edge)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.store.io_stats()
+    }
+}
+
+/// Counters describing how often the shared cache avoided a store access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Adjacency requests answered from the shared cache.
+    pub adjacency_reuses: u64,
+    /// Adjacency requests that had to go to the store.
+    pub adjacency_fetches: u64,
+    /// Facility-run requests answered from the shared cache.
+    pub run_reuses: u64,
+    /// Facility-run requests that had to go to the store.
+    pub run_fetches: u64,
+}
+
+/// Information-sharing access: each node's adjacency record and each facility
+/// run is fetched from the store at most once per query (CEA's behaviour).
+///
+/// The cache corresponds to the paper's notion of *expanded* nodes: once some
+/// expansion has paid the I/O to expand a node, the decoded record is kept in
+/// memory and every other expansion reuses it.
+pub struct SharedAccess {
+    store: Arc<MCNStore>,
+    adjacency: Mutex<HashMap<NodeId, Arc<AdjacencyList>>>,
+    runs: Mutex<HashMap<(u32, u16), Arc<Vec<(FacilityId, f64)>>>>,
+    stats: Mutex<SharingStats>,
+}
+
+impl SharedAccess {
+    /// Creates a sharing accessor over `store` with an empty cache.
+    pub fn new(store: Arc<MCNStore>) -> Self {
+        Self {
+            store,
+            adjacency: Mutex::new(HashMap::new()),
+            runs: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SharingStats::default()),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<MCNStore> {
+        &self.store
+    }
+
+    /// Number of distinct nodes whose adjacency has been fetched ("expanded"
+    /// nodes in the paper's terminology).
+    pub fn expanded_nodes(&self) -> usize {
+        self.adjacency.lock().len()
+    }
+
+    /// Cache reuse counters.
+    pub fn sharing_stats(&self) -> SharingStats {
+        *self.stats.lock()
+    }
+}
+
+impl NetworkAccess for SharedAccess {
+    fn num_cost_types(&self) -> usize {
+        self.store.num_cost_types()
+    }
+
+    fn adjacency(&self, node: NodeId) -> Arc<AdjacencyList> {
+        let mut cache = self.adjacency.lock();
+        if let Some(hit) = cache.get(&node) {
+            self.stats.lock().adjacency_reuses += 1;
+            return hit.clone();
+        }
+        let record = Arc::new(self.store.adjacency(node));
+        cache.insert(node, record.clone());
+        self.stats.lock().adjacency_fetches += 1;
+        record
+    }
+
+    fn facilities_in_run(&self, run: &FacilityRun) -> Arc<Vec<(FacilityId, f64)>> {
+        let key = (run.start.page.raw(), run.start.offset);
+        let mut cache = self.runs.lock();
+        if let Some(hit) = cache.get(&key) {
+            self.stats.lock().run_reuses += 1;
+            return hit.clone();
+        }
+        let facilities = Arc::new(self.store.facilities_in_run(run));
+        cache.insert(key, facilities.clone());
+        self.stats.lock().run_fetches += 1;
+        facilities
+    }
+
+    fn facility_info(&self, facility: FacilityId) -> Option<FacilityInfo> {
+        self.store.facility_info(facility)
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> Option<EdgeEndpoints> {
+        self.store.edge_endpoints(edge)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.store.io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::{CostVec, GraphBuilder};
+    use mcn_storage::BufferConfig;
+
+    fn store() -> Arc<MCNStore> {
+        let mut b = GraphBuilder::new(2);
+        let n: Vec<_> = (0..4).map(|i| b.add_node(i as f64, 0.0)).collect();
+        for w in n.windows(2) {
+            let e = b
+                .add_edge(w[0], w[1], CostVec::from_slice(&[1.0, 2.0]))
+                .unwrap();
+            b.add_facility(e, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        Arc::new(MCNStore::build_in_memory(&g, BufferConfig::Pages(16)).unwrap())
+    }
+
+    #[test]
+    fn direct_access_hits_the_store_every_time() {
+        let store = store();
+        let access = DirectAccess::new(store.clone());
+        store.buffer().clear();
+        let _ = access.adjacency(NodeId::new(1));
+        let _ = access.adjacency(NodeId::new(1));
+        // Two logical reads of the data page (plus tree traversals).
+        let stats = access.io_stats();
+        assert!(stats.logical_reads >= 4);
+    }
+
+    #[test]
+    fn shared_access_fetches_each_node_once() {
+        let store = store();
+        let access = SharedAccess::new(store.clone());
+        store.buffer().clear();
+        let a = access.adjacency(NodeId::new(1));
+        let logical_after_first = access.io_stats().logical_reads;
+        let b = access.adjacency(NodeId::new(1));
+        let c = access.adjacency(NodeId::new(1));
+        assert_eq!(access.io_stats().logical_reads, logical_after_first);
+        assert!(Arc::ptr_eq(&a, &b) && Arc::ptr_eq(&b, &c));
+        assert_eq!(access.expanded_nodes(), 1);
+        let s = access.sharing_stats();
+        assert_eq!(s.adjacency_fetches, 1);
+        assert_eq!(s.adjacency_reuses, 2);
+    }
+
+    #[test]
+    fn shared_access_caches_facility_runs() {
+        let store = store();
+        let access = SharedAccess::new(store.clone());
+        let adj = access.adjacency(NodeId::new(0));
+        let run = adj.entries[0].facilities.expect("edge 0 has a facility");
+        let before = access.io_stats().logical_reads;
+        let f1 = access.facilities_in_run(&run);
+        let after_first = access.io_stats().logical_reads;
+        assert!(after_first > before);
+        let f2 = access.facilities_in_run(&run);
+        assert_eq!(access.io_stats().logical_reads, after_first);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), 1);
+    }
+
+    #[test]
+    fn both_accessors_expose_lookups() {
+        let store = store();
+        let direct = DirectAccess::new(store.clone());
+        let shared = SharedAccess::new(store);
+        assert_eq!(direct.num_cost_types(), 2);
+        assert_eq!(shared.num_cost_types(), 2);
+        assert_eq!(
+            direct.facility_info(FacilityId::new(0)),
+            shared.facility_info(FacilityId::new(0))
+        );
+        assert_eq!(
+            direct.edge_endpoints(EdgeId::new(2)),
+            shared.edge_endpoints(EdgeId::new(2))
+        );
+    }
+}

@@ -1,0 +1,530 @@
+//! Incremental network expansion: Dijkstra-based nearest-facility search.
+//!
+//! This is the *network expansion* (NE) primitive of Papadias et al. (VLDB'03)
+//! that both LSA and CEA are built on (paper Section II-C): starting from the
+//! query location, nodes are settled in increasing distance order w.r.t. one
+//! cost type; when a node is settled, the facilities on its incident edges are
+//! pushed into the same heap with their network distance, so facilities pop
+//! out of the heap in increasing nearest-neighbour order.
+
+use crate::access::NetworkAccess;
+use crate::seeds::Seeds;
+use mcn_graph::{EdgeId, FacilityId, NodeId};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// How an expansion discovers facilities.
+#[derive(Clone)]
+pub enum FacilityMode {
+    /// Load and en-heap every facility on every traversed edge (growing stage).
+    All,
+    /// Do not touch the facility file; only the candidate facilities listed
+    /// here (keyed by their containing edge, with their fractional position)
+    /// are en-heaped when their edge is traversed. This implements the
+    /// shrinking-stage optimisation of Section IV-A.
+    CandidatesOnly(Arc<HashMap<EdgeId, Vec<(FacilityId, f64)>>>),
+    /// Ignore facilities entirely (plain one-to-all Dijkstra).
+    Ignore,
+}
+
+/// One step of progress of an expansion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExpansionStep {
+    /// A facility was reached; its network distance w.r.t. this expansion's
+    /// cost type is final.
+    Facility {
+        /// The facility.
+        facility: FacilityId,
+        /// Its network distance from the query location.
+        cost: f64,
+    },
+    /// A network node was settled (its adjacency information was consumed).
+    NodeSettled {
+        /// The node.
+        node: NodeId,
+        /// Its network distance from the query location.
+        cost: f64,
+    },
+    /// The expansion frontier is empty; nothing remains to be discovered.
+    Exhausted,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum HeapItem {
+    Node(NodeId),
+    Facility(FacilityId),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    key: f64,
+    item: HeapItem,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest key pops first.
+        // Ties: facilities before nodes, then by identifier, for determinism.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| {
+                let rank = |i: &HeapItem| match i {
+                    HeapItem::Facility(_) => 0u8,
+                    HeapItem::Node(_) => 1u8,
+                };
+                rank(&other.item).cmp(&rank(&self.item))
+            })
+            .then_with(|| {
+                let id = |i: &HeapItem| match i {
+                    HeapItem::Facility(f) => f.raw(),
+                    HeapItem::Node(n) => n.raw(),
+                };
+                id(&other.item).cmp(&id(&self.item))
+            })
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Counters describing the work performed by one expansion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExpansionStats {
+    /// Nodes settled (adjacency records consumed).
+    pub nodes_settled: usize,
+    /// Heap pushes.
+    pub heap_pushes: usize,
+    /// Heap pops.
+    pub heap_pops: usize,
+    /// Facilities emitted.
+    pub facilities_emitted: usize,
+}
+
+/// An incremental single-cost network expansion.
+///
+/// Created via [`Expansion::new`] with the seeds of a query location, it
+/// yields the nearest facilities one at a time ([`Expansion::next_nearest`]),
+/// or advances in finer-grained steps ([`Expansion::advance`]) as required by
+/// the top-k shrinking stage.
+pub struct Expansion<A: NetworkAccess> {
+    access: Arc<A>,
+    cost_type: usize,
+    facility_mode: FacilityMode,
+    heap: BinaryHeap<HeapEntry>,
+    /// Best known (not necessarily final) distance per node.
+    best: HashMap<NodeId, f64>,
+    /// Nodes whose distance is final and whose adjacency has been consumed.
+    settled: HashSet<NodeId>,
+    /// Facilities already reported (a facility can be en-heaped from both
+    /// end-nodes of its edge).
+    emitted: HashSet<FacilityId>,
+    /// Best facility key seen so far, for de-duplicated en-heaping.
+    facility_best: HashMap<FacilityId, f64>,
+    stats: ExpansionStats,
+}
+
+impl<A: NetworkAccess> Expansion<A> {
+    /// Creates an expansion for `cost_type` starting from the given seeds.
+    ///
+    /// # Panics
+    /// Panics if `cost_type` is not a valid cost index for the network.
+    pub fn new(access: Arc<A>, cost_type: usize, seeds: &Seeds, facility_mode: FacilityMode) -> Self {
+        assert!(
+            cost_type < access.num_cost_types(),
+            "cost type {cost_type} out of range (d = {})",
+            access.num_cost_types()
+        );
+        let mut ex = Self {
+            access,
+            cost_type,
+            facility_mode,
+            heap: BinaryHeap::new(),
+            best: HashMap::new(),
+            settled: HashSet::new(),
+            emitted: HashSet::new(),
+            facility_best: HashMap::new(),
+            stats: ExpansionStats::default(),
+        };
+        for (node, costs) in &seeds.node_seeds {
+            ex.push_node(*node, costs[cost_type]);
+        }
+        for (facility, costs) in &seeds.facility_seeds {
+            ex.push_facility(*facility, costs[cost_type]);
+        }
+        ex
+    }
+
+    /// The cost type this expansion searches on.
+    pub fn cost_type(&self) -> usize {
+        self.cost_type
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ExpansionStats {
+        self.stats
+    }
+
+    /// Smallest key currently in the frontier, i.e. a lower bound on the cost
+    /// of the next facility this expansion can return (the paper's `tᵢ`).
+    /// `None` when the frontier is exhausted.
+    pub fn frontier_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// True iff nothing remains in the frontier.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Replaces the facility mode (used when a query transitions from the
+    /// growing to the shrinking stage).
+    pub fn set_facility_mode(&mut self, mode: FacilityMode) {
+        self.facility_mode = mode;
+    }
+
+    fn push_node(&mut self, node: NodeId, key: f64) {
+        match self.best.entry(node) {
+            Entry::Occupied(mut o) => {
+                if key < *o.get() {
+                    o.insert(key);
+                } else {
+                    return;
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(key);
+            }
+        }
+        self.heap.push(HeapEntry {
+            key,
+            item: HeapItem::Node(node),
+        });
+        self.stats.heap_pushes += 1;
+    }
+
+    fn push_facility(&mut self, facility: FacilityId, key: f64) {
+        if self.emitted.contains(&facility) {
+            return;
+        }
+        match self.facility_best.entry(facility) {
+            Entry::Occupied(mut o) => {
+                if key < *o.get() {
+                    o.insert(key);
+                } else {
+                    return;
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(key);
+            }
+        }
+        self.heap.push(HeapEntry {
+            key,
+            item: HeapItem::Facility(facility),
+        });
+        self.stats.heap_pushes += 1;
+    }
+
+    /// En-heaps the facilities of an edge being relaxed from a node sitting at
+    /// distance `base`, according to the facility mode. `position_cost` maps a
+    /// facility's fractional position to the fraction of the edge that has to
+    /// be traversed to reach it from that node.
+    fn push_edge_facilities(
+        &mut self,
+        edge: EdgeId,
+        edge_cost: f64,
+        position_cost: impl Fn(f64) -> f64,
+        run: Option<&mcn_storage::FacilityRun>,
+        base: f64,
+    ) {
+        let targets: Vec<(FacilityId, f64)> = match &self.facility_mode {
+            FacilityMode::Ignore => return,
+            FacilityMode::All => match run {
+                Some(run) => self.access.facilities_in_run(run).iter().copied().collect(),
+                None => return,
+            },
+            FacilityMode::CandidatesOnly(by_edge) => match by_edge.get(&edge) {
+                Some(cands) => cands.clone(),
+                None => return,
+            },
+        };
+        for (fid, pos) in targets {
+            self.push_facility(fid, base + position_cost(pos) * edge_cost);
+        }
+    }
+
+    /// Performs one unit of work: pops the heap until something meaningful
+    /// happens (a facility is reached, a node is settled, or the frontier is
+    /// exhausted). Stale heap entries are skipped silently.
+    pub fn advance(&mut self) -> ExpansionStep {
+        loop {
+            let Some(entry) = self.heap.pop() else {
+                return ExpansionStep::Exhausted;
+            };
+            self.stats.heap_pops += 1;
+            match entry.item {
+                HeapItem::Facility(fid) => {
+                    // Skip stale entries (a better key was en-heaped later).
+                    if self.emitted.contains(&fid)
+                        || self
+                            .facility_best
+                            .get(&fid)
+                            .is_some_and(|&best| entry.key > best)
+                    {
+                        continue;
+                    }
+                    self.emitted.insert(fid);
+                    self.stats.facilities_emitted += 1;
+                    return ExpansionStep::Facility {
+                        facility: fid,
+                        cost: entry.key,
+                    };
+                }
+                HeapItem::Node(node) => {
+                    if self.settled.contains(&node) {
+                        continue;
+                    }
+                    if self.best.get(&node).is_some_and(|&best| entry.key > best) {
+                        continue;
+                    }
+                    self.settled.insert(node);
+                    self.stats.nodes_settled += 1;
+                    self.expand_node(node, entry.key);
+                    return ExpansionStep::NodeSettled {
+                        node,
+                        cost: entry.key,
+                    };
+                }
+            }
+        }
+    }
+
+    fn expand_node(&mut self, node: NodeId, dist: f64) {
+        let adjacency = self.access.adjacency(node);
+        for e in &adjacency.entries {
+            // Facilities on the edge are reachable from this end-node as long
+            // as movement towards them is allowed: from the edge's source any
+            // facility is reachable; from the target only if undirected.
+            // `traversable` tells us whether we may leave `node` via this edge.
+            let edge_cost = e.costs[self.cost_type];
+            if e.traversable {
+                self.push_node(e.neighbor, dist + edge_cost);
+            }
+            let run = e.facilities;
+            // Position of a facility is the fraction from the edge's *source*.
+            // If `node` is the source, partial weight = pos · w; otherwise
+            // (node is the target) it is (1 − pos) · w. We recover which end
+            // `node` is by asking the access layer only when facilities exist.
+            if matches!(self.facility_mode, FacilityMode::Ignore) {
+                continue;
+            }
+            let has_candidates = match &self.facility_mode {
+                FacilityMode::CandidatesOnly(by_edge) => by_edge.contains_key(&e.edge),
+                FacilityMode::All => run.is_some(),
+                FacilityMode::Ignore => false,
+            };
+            if !has_candidates {
+                continue;
+            }
+            let endpoints = self
+                .access
+                .edge_endpoints(e.edge)
+                .expect("edge present in the edge index");
+            let node_is_source = endpoints.source == node;
+            // On a directed edge, facilities can only be reached from the
+            // source side (movement is source → target).
+            if endpoints.directed && !node_is_source {
+                continue;
+            }
+            if node_is_source {
+                self.push_edge_facilities(e.edge, edge_cost, |pos| pos, run.as_ref(), dist);
+            } else {
+                self.push_edge_facilities(e.edge, edge_cost, |pos| 1.0 - pos, run.as_ref(), dist);
+            }
+        }
+    }
+
+    /// Advances until the next nearest facility is found, returning it together
+    /// with its cost, or `None` when the network is exhausted.
+    pub fn next_nearest(&mut self) -> Option<(FacilityId, f64)> {
+        loop {
+            match self.advance() {
+                ExpansionStep::Facility { facility, cost } => return Some((facility, cost)),
+                ExpansionStep::NodeSettled { .. } => continue,
+                ExpansionStep::Exhausted => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::DirectAccess;
+    use crate::seeds::seeds_for_location;
+    use mcn_graph::{CostVec, GraphBuilder, NetworkLocation};
+    use mcn_storage::{BufferConfig, MCNStore};
+
+    /// Line network: v0 -(2,10)- v1 -(2,10)- v2 -(2,10)- v3, facilities:
+    /// p0 at 0.5 on edge 0, p1 at 0.5 on edge 2.
+    fn line_store() -> (Arc<MCNStore>, mcn_graph::MultiCostGraph) {
+        let mut b = GraphBuilder::new(2);
+        let n: Vec<_> = (0..4).map(|i| b.add_node(i as f64, 0.0)).collect();
+        let mut edges = Vec::new();
+        for w in n.windows(2) {
+            edges.push(
+                b.add_edge(w[0], w[1], CostVec::from_slice(&[2.0, 10.0]))
+                    .unwrap(),
+            );
+        }
+        b.add_facility(edges[0], 0.5).unwrap();
+        b.add_facility(edges[2], 0.5).unwrap();
+        let g = b.build().unwrap();
+        let store = Arc::new(MCNStore::build_in_memory(&g, BufferConfig::Pages(16)).unwrap());
+        (store, g)
+    }
+
+    #[test]
+    fn facilities_pop_in_distance_order() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let mut ex = Expansion::new(access, 0, &seeds, FacilityMode::All);
+        // p0 is 1.0 away (half of edge 0), p1 is 2 + 2 + 1 = 5.0 away.
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(0), 1.0)));
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 5.0)));
+        assert_eq!(ex.next_nearest(), None);
+        assert!(ex.is_exhausted());
+    }
+
+    #[test]
+    fn different_cost_types_scale_distances() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let mut ex = Expansion::new(access, 1, &seeds, FacilityMode::All);
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(0), 5.0)));
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 25.0)));
+    }
+
+    #[test]
+    fn query_in_edge_interior_uses_partial_weights() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        // Query at 0.25 along edge 1 (between v1 and v2).
+        let seeds = seeds_for_location(
+            access.as_ref(),
+            NetworkLocation::on_edge(EdgeId::new(1), 0.25),
+        );
+        let mut ex = Expansion::new(access, 0, &seeds, FacilityMode::All);
+        // To p0: 0.25·2 back to v1, 1·2 to mid of edge 0 → wait: v1→p0 is half
+        // of edge 0 = 1.0, so total 0.5 + 1.0 = 1.5.
+        // To p1: 0.75·2 to v2 + 1.0 = 2.5.
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(0), 1.5)));
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 2.5)));
+    }
+
+    #[test]
+    fn candidates_only_mode_skips_other_facilities() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let mut by_edge: HashMap<EdgeId, Vec<(FacilityId, f64)>> = HashMap::new();
+        by_edge.insert(EdgeId::new(2), vec![(FacilityId::new(1), 0.5)]);
+        let mut ex = Expansion::new(
+            access,
+            0,
+            &seeds,
+            FacilityMode::CandidatesOnly(Arc::new(by_edge)),
+        );
+        // p0 is skipped entirely; the first facility found is p1.
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 5.0)));
+        assert_eq!(ex.next_nearest(), None);
+    }
+
+    #[test]
+    fn ignore_mode_is_plain_dijkstra() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let mut ex = Expansion::new(access, 0, &seeds, FacilityMode::Ignore);
+        let mut settled = Vec::new();
+        loop {
+            match ex.advance() {
+                ExpansionStep::NodeSettled { node, cost } => settled.push((node, cost)),
+                ExpansionStep::Facility { .. } => panic!("facilities must be ignored"),
+                ExpansionStep::Exhausted => break,
+            }
+        }
+        assert_eq!(
+            settled,
+            vec![
+                (NodeId::new(0), 0.0),
+                (NodeId::new(1), 2.0),
+                (NodeId::new(2), 4.0),
+                (NodeId::new(3), 6.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn frontier_bound_is_monotone() {
+        let (store, _) = line_store();
+        let access = Arc::new(DirectAccess::new(store));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let mut ex = Expansion::new(access, 0, &seeds, FacilityMode::All);
+        let mut last = 0.0;
+        while let Some(bound) = ex.frontier_bound() {
+            assert!(bound + 1e-12 >= last, "frontier bound decreased");
+            last = bound;
+            if matches!(ex.advance(), ExpansionStep::Exhausted) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn directed_edges_are_not_traversed_backwards() {
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let d = b.add_node(2.0, 0.0);
+        // a → c directed, c — d undirected; a facility on each edge.
+        let e0 = b
+            .add_directed_edge(a, c, CostVec::from_slice(&[4.0]))
+            .unwrap();
+        let e1 = b.add_edge(c, d, CostVec::from_slice(&[4.0])).unwrap();
+        b.add_facility(e0, 0.5).unwrap();
+        b.add_facility(e1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let store = Arc::new(MCNStore::build_in_memory(&g, BufferConfig::Pages(8)).unwrap());
+        let access = Arc::new(DirectAccess::new(store));
+
+        // From c, the directed edge back to a cannot be traversed, and its
+        // facility (p0, sitting "behind" the direction of travel) is not
+        // reachable via that edge either.
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(c));
+        let mut ex = Expansion::new(access.clone(), 0, &seeds, FacilityMode::All);
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 2.0)));
+        assert_eq!(ex.next_nearest(), None);
+
+        // From a, both facilities are reachable.
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(a));
+        let mut ex = Expansion::new(access, 0, &seeds, FacilityMode::All);
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(0), 2.0)));
+        assert_eq!(ex.next_nearest(), Some((FacilityId::new(1), 6.0)));
+    }
+}

@@ -1,0 +1,224 @@
+//! In-memory brute-force oracle: exact cost vectors of every facility.
+//!
+//! This module runs `d` plain Dijkstra expansions over the *in-memory* graph
+//! (no storage layer) and returns, for every facility, the full cost vector
+//! `⃗c(q, p) = (c₁(q, p), …, c_d(q, p))`. It is the reference implementation
+//! used by tests (LSA and CEA must agree with it exactly) and by the
+//! straightforward baseline's correctness checks.
+
+use mcn_graph::{CostVec, MultiCostGraph, NetworkLocation, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The exact network distance from `location` to every node of `graph`
+/// according to cost type `cost_type`. Unreachable nodes get `+∞`.
+pub fn node_distances(
+    graph: &MultiCostGraph,
+    location: NetworkLocation,
+    cost_type: usize,
+) -> Vec<f64> {
+    assert!(cost_type < graph.num_cost_types(), "cost type out of range");
+    let mut dist = vec![f64::INFINITY; graph.num_nodes()];
+    let mut heap: BinaryHeap<DijkstraEntry> = BinaryHeap::new();
+    let access = graph.location_access(location);
+    for (node, costs) in &access.node_costs {
+        let key = costs[cost_type];
+        if key < dist[node.index()] {
+            dist[node.index()] = key;
+            heap.push(DijkstraEntry { key, node: *node });
+        }
+    }
+    while let Some(DijkstraEntry { key, node }) = heap.pop() {
+        if key > dist[node.index()] {
+            continue;
+        }
+        for n in graph.neighbors(node) {
+            let next = key + n.costs[cost_type];
+            if next < dist[n.node.index()] {
+                dist[n.node.index()] = next;
+                heap.push(DijkstraEntry {
+                    key: next,
+                    node: n.node,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// The exact network distance from `location` to every facility according to
+/// cost type `cost_type`. Unreachable facilities get `+∞`.
+pub fn facility_distances(
+    graph: &MultiCostGraph,
+    location: NetworkLocation,
+    cost_type: usize,
+) -> Vec<f64> {
+    let node_dist = node_distances(graph, location, cost_type);
+    let mut out = vec![f64::INFINITY; graph.num_facilities()];
+
+    // Reach each facility through the end-nodes of its edge.
+    for f in graph.facilities() {
+        let e = graph.edge(f.edge);
+        let w = e.costs[cost_type];
+        let via_source = node_dist[e.source.index()] + f.position * w;
+        let mut best = via_source;
+        if !e.directed {
+            let via_target = node_dist[e.target.index()] + (1.0 - f.position) * w;
+            best = best.min(via_target);
+        }
+        out[f.id.index()] = best;
+    }
+
+    // Facilities on the query's own edge may be reachable directly.
+    let access = graph.location_access(location);
+    for (fid, costs) in &access.direct_facilities {
+        let direct = costs[cost_type];
+        if direct < out[fid.index()] {
+            out[fid.index()] = direct;
+        }
+    }
+    out
+}
+
+/// The full cost vector of every facility: `d` Dijkstra runs.
+pub fn facility_cost_vectors(graph: &MultiCostGraph, location: NetworkLocation) -> Vec<CostVec> {
+    let d = graph.num_cost_types();
+    let per_type: Vec<Vec<f64>> = (0..d)
+        .map(|i| facility_distances(graph, location, i))
+        .collect();
+    (0..graph.num_facilities())
+        .map(|p| {
+            let mut cv = CostVec::zeros(d);
+            for i in 0..d {
+                cv[i] = per_type[i][p];
+            }
+            cv
+        })
+        .collect()
+}
+
+struct DijkstraEntry {
+    key: f64,
+    node: NodeId,
+}
+
+impl PartialEq for DijkstraEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for DijkstraEntry {}
+impl Ord for DijkstraEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.node.raw().cmp(&self.node.raw()))
+    }
+}
+impl PartialOrd for DijkstraEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::{CostVec, EdgeId, GraphBuilder};
+
+    /// Square network with a diagonal shortcut for one cost type.
+    ///
+    /// ```text
+    ///   v0 --(1,9)-- v1
+    ///    |            |
+    ///  (9,1)        (1,1)
+    ///    |            |
+    ///   v3 --(1,1)-- v2
+    /// ```
+    fn square() -> MultiCostGraph {
+        let mut b = GraphBuilder::new(2);
+        let v: Vec<_> = (0..4).map(|i| b.add_node(i as f64, 0.0)).collect();
+        let e01 = b.add_edge(v[0], v[1], CostVec::from_slice(&[1.0, 9.0])).unwrap();
+        b.add_edge(v[1], v[2], CostVec::from_slice(&[1.0, 1.0])).unwrap();
+        b.add_edge(v[2], v[3], CostVec::from_slice(&[1.0, 1.0])).unwrap();
+        b.add_edge(v[3], v[0], CostVec::from_slice(&[9.0, 1.0])).unwrap();
+        b.add_facility(e01, 1.0).unwrap(); // p0 exactly at v1
+        b.add_facility(EdgeId::new(2), 0.5).unwrap(); // p1 mid of v2–v3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn node_distances_match_hand_computation() {
+        let g = square();
+        let d0 = node_distances(&g, NetworkLocation::Node(NodeId::new(0)), 0);
+        assert_eq!(d0, vec![0.0, 1.0, 2.0, 3.0]);
+        let d1 = node_distances(&g, NetworkLocation::Node(NodeId::new(0)), 1);
+        assert_eq!(d1, vec![0.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn facility_distances_use_best_end_node() {
+        let g = square();
+        let q = NetworkLocation::Node(NodeId::new(0));
+        let f0 = facility_distances(&g, q, 0);
+        // p0 at v1: distance 1 (via edge 0). p1 mid of v2–v3: min(2+0.5, 3+0.5)=2.5.
+        assert_eq!(f0, vec![1.0, 2.5]);
+        let f1 = facility_distances(&g, q, 1);
+        // Cost type 1: to v1 = 3, so p0 = 3 (position 1.0 on edge 0 adds 9·0? —
+        // p0 sits at the far end of edge 0, i.e. exactly at v1: min(0+9·1, 3+0)=3).
+        // p1: min(d(v2)=2 + 0.5, d(v3)=1 + 0.5) = 1.5.
+        assert_eq!(f1, vec![3.0, 1.5]);
+    }
+
+    #[test]
+    fn query_on_edge_reaches_local_facility_directly() {
+        let g = square();
+        let q = NetworkLocation::on_edge(EdgeId::new(2), 0.25);
+        let f0 = facility_distances(&g, q, 0);
+        // p1 is at 0.5 on the same edge: 0.25 of the edge away = 0.25.
+        assert!((f0[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_vectors_combine_all_types() {
+        let g = square();
+        let cvs = facility_cost_vectors(&g, NetworkLocation::Node(NodeId::new(0)));
+        assert_eq!(cvs.len(), 2);
+        assert_eq!(cvs[0].as_slice(), &[1.0, 3.0]);
+        assert_eq!(cvs[1].as_slice(), &[2.5, 1.5]);
+    }
+
+    #[test]
+    fn disconnected_facilities_are_infinite() {
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let d = b.add_node(5.0, 0.0);
+        let e = b.add_node(6.0, 0.0);
+        b.add_edge(a, c, CostVec::from_slice(&[1.0])).unwrap();
+        let far = b.add_edge(d, e, CostVec::from_slice(&[1.0])).unwrap();
+        b.add_facility(far, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let f = facility_distances(&g, NetworkLocation::Node(a), 0);
+        assert!(f[0].is_infinite());
+    }
+
+    #[test]
+    fn directed_edge_facility_only_reachable_forward() {
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let e = b
+            .add_directed_edge(a, c, CostVec::from_slice(&[10.0]))
+            .unwrap();
+        b.add_facility(e, 0.5).unwrap();
+        let g = b.build().unwrap();
+        // From a (the source) the facility is 5 away.
+        let fa = facility_distances(&g, NetworkLocation::Node(a), 0);
+        assert_eq!(fa[0], 5.0);
+        // From c (the target) it cannot be reached at all (no way back).
+        let fc = facility_distances(&g, NetworkLocation::Node(c), 0);
+        assert!(fc[0].is_infinite());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for graph construction and validation.
+
+use crate::ids::{EdgeId, FacilityId, NodeId};
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::MultiCostGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An edge refers to a node identifier that has not been added.
+    UnknownNode(NodeId),
+    /// A facility refers to an edge identifier that has not been added.
+    UnknownEdge(EdgeId),
+    /// A facility identifier was used twice.
+    DuplicateFacility(FacilityId),
+    /// An edge cost vector has a different dimensionality than the graph.
+    CostDimensionMismatch {
+        /// The edge in question.
+        edge: EdgeId,
+        /// The graph-wide number of cost types.
+        expected: usize,
+        /// The dimensionality supplied for this edge.
+        found: usize,
+    },
+    /// An edge cost vector contains a negative or non-finite component.
+    InvalidCost(EdgeId),
+    /// A facility position lies outside `[0, 1]`.
+    InvalidFacilityPosition {
+        /// The facility in question.
+        facility: FacilityId,
+        /// The offending position value.
+        position: f64,
+    },
+    /// A self-loop edge (both end-nodes identical) was supplied.
+    SelfLoop(EdgeId),
+    /// The graph has no nodes.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            GraphError::UnknownEdge(e) => write!(f, "facility references unknown edge {e}"),
+            GraphError::DuplicateFacility(p) => write!(f, "duplicate facility identifier {p}"),
+            GraphError::CostDimensionMismatch {
+                edge,
+                expected,
+                found,
+            } => write!(
+                f,
+                "edge {edge} has {found} cost components but the graph has {expected} cost types"
+            ),
+            GraphError::InvalidCost(e) => {
+                write!(f, "edge {e} has a negative or non-finite cost component")
+            }
+            GraphError::InvalidFacilityPosition { facility, position } => write!(
+                f,
+                "facility {facility} position {position} is outside [0, 1]"
+            ),
+            GraphError::SelfLoop(e) => write!(f, "edge {e} is a self-loop"),
+            GraphError::EmptyGraph => write!(f, "the graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = GraphError::UnknownNode(NodeId::new(7));
+        assert!(e.to_string().contains("v7"));
+        let e = GraphError::CostDimensionMismatch {
+            edge: EdgeId::new(3),
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains("e3"));
+        assert!(e.to_string().contains('4'));
+        let e = GraphError::InvalidFacilityPosition {
+            facility: FacilityId::new(1),
+            position: 2.0,
+        };
+        assert!(e.to_string().contains("p1"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mcn-io
+//!
+//! Road-network file formats: loading real datasets and persisting generated
+//! workloads.
+//!
+//! The paper evaluates on the San Francisco road network distributed with the
+//! Brinkhoff generator as plain-text node/edge files. This crate loads that
+//! family of formats so that, when the real data is available, the experiments
+//! can be run on it unchanged; it also round-trips full multi-cost workloads
+//! (including facilities) through CSV so generated datasets can be shared.
+//!
+//! * [`formats::load_node_edge_files`] — Brinkhoff-style `id x y` /
+//!   `id source target length` text files (single cost = length).
+//! * [`formats::load_dimacs_gr`] — DIMACS shortest-path challenge `.gr` files
+//!   (directed arcs, single integer weight).
+//! * [`formats::write_csv`] / [`formats::load_csv`] — multi-cost CSV
+//!   round-trip of nodes, edges (with `d` costs) and facilities.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod formats;
+
+pub use formats::{load_csv, load_dimacs_gr, load_node_edge_files, write_csv, IoFormatError};

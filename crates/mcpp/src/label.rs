@@ -1,0 +1,186 @@
+//! Label-correcting multi-criteria Pareto path search.
+
+use mcn_graph::{dominates, dominates_weak, CostVec, EdgeId, MultiCostGraph, NodeId};
+use std::collections::VecDeque;
+
+/// One Pareto-optimal label: a non-dominated way of reaching a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoLabel {
+    /// The node the label belongs to.
+    pub node: NodeId,
+    /// Accumulated cost vector from the source.
+    pub costs: CostVec,
+    /// The edges of the path from the source, in order.
+    pub edges: Vec<EdgeId>,
+}
+
+/// Computes the Pareto-optimal (skyline) paths from `source` to `target` with
+/// a label-correcting algorithm (Section II-D of the paper).
+///
+/// Every node keeps a set of mutually non-dominated labels; labels are
+/// propagated over outgoing edges and inserted only if not (weakly) dominated
+/// by an existing label at the head node, evicting labels they dominate. The
+/// returned labels at `target` are sorted lexicographically by cost vector.
+///
+/// Complexity is output-sensitive and exponential in the worst case (the
+/// Pareto set itself can be exponential); it is intended for moderate-size
+/// networks and for validating the per-cost shortest paths of `mcn-expansion`.
+pub fn pareto_paths(graph: &MultiCostGraph, source: NodeId, target: NodeId) -> Vec<ParetoLabel> {
+    let d = graph.num_cost_types();
+    let mut labels: Vec<Vec<ParetoLabel>> = vec![Vec::new(); graph.num_nodes()];
+    labels[source.index()].push(ParetoLabel {
+        node: source,
+        costs: CostVec::zeros(d),
+        edges: Vec::new(),
+    });
+
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut queued = vec![false; graph.num_nodes()];
+    queue.push_back(source);
+    queued[source.index()] = true;
+
+    while let Some(node) = queue.pop_front() {
+        queued[node.index()] = false;
+        let current: Vec<ParetoLabel> = labels[node.index()].clone();
+        for neighbor in graph.neighbors(node) {
+            for label in &current {
+                let mut costs = label.costs;
+                costs += neighbor.costs;
+                // Discard if weakly dominated by an existing label at the head.
+                let existing = &mut labels[neighbor.node.index()];
+                if existing.iter().any(|l| dominates_weak(&l.costs, &costs)) {
+                    continue;
+                }
+                existing.retain(|l| !dominates(&costs, &l.costs));
+                let mut edges = label.edges.clone();
+                edges.push(neighbor.edge);
+                existing.push(ParetoLabel {
+                    node: neighbor.node,
+                    costs,
+                    edges,
+                });
+                if !queued[neighbor.node.index()] {
+                    queued[neighbor.node.index()] = true;
+                    queue.push_back(neighbor.node);
+                }
+            }
+        }
+    }
+
+    let mut result = labels[target.index()].clone();
+    result.sort_by(|a, b| a.costs.lex_cmp(&b.costs));
+    result
+}
+
+/// The component-wise minimum over the Pareto path set, i.e. the vector of
+/// single-criterion shortest-path distances from `source` to `target`.
+/// Returns `None` if the target is unreachable.
+pub fn componentwise_minimum(paths: &[ParetoLabel]) -> Option<CostVec> {
+    let first = paths.first()?;
+    Some(
+        paths
+            .iter()
+            .skip(1)
+            .fold(first.costs, |acc, l| acc.element_min(&l.costs)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::GraphBuilder;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Diamond network with a cheap-slow and an expensive-fast side.
+    fn diamond() -> (MultiCostGraph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new(2);
+        let s = b.add_node(0.0, 0.0);
+        let up = b.add_node(1.0, 1.0);
+        let down = b.add_node(1.0, -1.0);
+        let t = b.add_node(2.0, 0.0);
+        b.add_edge(s, up, CostVec::from_slice(&[1.0, 10.0])).unwrap();
+        b.add_edge(up, t, CostVec::from_slice(&[1.0, 10.0])).unwrap();
+        b.add_edge(s, down, CostVec::from_slice(&[10.0, 1.0])).unwrap();
+        b.add_edge(down, t, CostVec::from_slice(&[10.0, 1.0])).unwrap();
+        (b.build().unwrap(), s, t)
+    }
+
+    #[test]
+    fn diamond_has_two_pareto_paths() {
+        let (g, s, t) = diamond();
+        let paths = pareto_paths(&g, s, t);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].costs.as_slice(), &[2.0, 20.0]);
+        assert_eq!(paths[1].costs.as_slice(), &[20.0, 2.0]);
+        assert_eq!(paths[0].edges.len(), 2);
+        assert_eq!(
+            componentwise_minimum(&paths).unwrap().as_slice(),
+            &[2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn source_equals_target_gives_trivial_label() {
+        let (g, s, _) = diamond();
+        let paths = pareto_paths(&g, s, s);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].edges.is_empty());
+        assert_eq!(paths[0].costs.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unreachable_target_has_no_paths() {
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_node(5.0, 5.0); // isolated
+        b.add_edge(a, c, CostVec::from_slice(&[1.0])).unwrap();
+        let g = b.build().unwrap();
+        let paths = pareto_paths(&g, a, NodeId::new(2));
+        assert!(paths.is_empty());
+        assert!(componentwise_minimum(&paths).is_none());
+    }
+
+    #[test]
+    fn labels_are_mutually_non_dominated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        // Random small network.
+        let mut b = GraphBuilder::new(3);
+        let nodes: Vec<NodeId> = (0..30).map(|i| b.add_node(i as f64, 0.0)).collect();
+        for w in nodes.windows(2) {
+            let c: Vec<f64> = (0..3).map(|_| rng.gen_range(1.0..5.0)).collect();
+            b.add_edge(w[0], w[1], CostVec::from_slice(&c)).unwrap();
+        }
+        for _ in 0..30 {
+            let a = nodes[rng.gen_range(0..30)];
+            let c = nodes[rng.gen_range(0..30)];
+            if a == c {
+                continue;
+            }
+            let cv: Vec<f64> = (0..3).map(|_| rng.gen_range(1.0..5.0)).collect();
+            b.add_edge(a, c, CostVec::from_slice(&cv)).unwrap();
+        }
+        let g = b.build().unwrap();
+        let paths = pareto_paths(&g, nodes[0], nodes[29]);
+        assert!(!paths.is_empty());
+        for a in &paths {
+            assert!(a.costs.len() == 3);
+            for b2 in &paths {
+                if a.edges != b2.edges {
+                    assert!(!dominates(&a.costs, &b2.costs) || !dominates(&b2.costs, &a.costs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn componentwise_minimum_matches_single_cost_dijkstra() {
+        let (g, s, t) = diamond();
+        let paths = pareto_paths(&g, s, t);
+        let mins = componentwise_minimum(&paths).unwrap();
+        // Single-criterion shortest paths: cost0 via the upper branch = 2,
+        // cost1 via the lower branch = 2.
+        assert_eq!(mins.as_slice(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mcn-mcpp
+//!
+//! **Multi-criteria Pareto path computation** (MCPP): given a source and a
+//! destination node in a multi-cost network, compute the *skyline of paths*
+//! between them — every path whose cost vector is not dominated by the cost
+//! vector of another path.
+//!
+//! This is the operations-research problem the paper contrasts with its MCN
+//! skyline (Section II-D): MCPP produces a skyline of *paths* to a single,
+//! given destination, whereas the MCN skyline is a skyline of *facilities*
+//! reached via each cost type's own shortest path. The crate exists
+//!
+//! * as the classic related-work baseline (label-correcting algorithm in the
+//!   style of Skriver & Andersen / Brumbaugh-Smith & Shier);
+//! * to cross-validate the per-cost shortest path distances used elsewhere:
+//!   the component-wise minimum over the Pareto path set equals the vector of
+//!   single-criterion shortest-path distances.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod label;
+
+pub use label::{componentwise_minimum, pareto_paths, ParetoLabel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::{CostVec, GraphBuilder, NodeId};
+
+    #[test]
+    fn crate_level_smoke_test() {
+        let mut b = GraphBuilder::new(2);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_edge(a, c, CostVec::from_slice(&[1.0, 5.0])).unwrap();
+        b.add_edge(a, c, CostVec::from_slice(&[5.0, 1.0])).unwrap();
+        let g = b.build().unwrap();
+        let paths = pareto_paths(&g, a, NodeId::new(1));
+        assert_eq!(paths.len(), 2);
+    }
+}

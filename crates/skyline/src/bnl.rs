@@ -1,0 +1,131 @@
+//! Block nested loops (BNL) skyline computation.
+
+use crate::SkylineItem;
+use mcn_graph::{dominates, dominates_weak};
+
+/// Computes the skyline of `items` with the block-nested-loops algorithm of
+/// Börzsönyi et al. (ICDE 2001).
+///
+/// A *window* of currently non-dominated items is maintained; every input item
+/// is compared against the window and either discarded (dominated by a window
+/// entry), inserted (possibly evicting window entries it dominates), or both
+/// kept as incomparable. Because the whole window is kept in memory (no
+/// temporary-file overflow is modelled), the result is complete after a single
+/// pass.
+///
+/// Returns indices into `items` in the order the items were admitted to the
+/// window. Items whose cost vector is *equal* to an already-admitted item are
+/// retained as well (dominance is strict).
+pub fn block_nested_loops<T: SkylineItem>(items: &[T]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'outer: for (i, item) in items.iter().enumerate() {
+        let mut w = 0;
+        while w < window.len() {
+            let other = &items[window[w]];
+            if dominates_weak(other.costs(), item.costs()) {
+                // The window entry dominates (or equals) the incoming item…
+                if dominates(other.costs(), item.costs()) {
+                    continue 'outer;
+                }
+                // …equal vectors: keep both, nothing to evict.
+                w += 1;
+            } else if dominates(item.costs(), other.costs()) {
+                // The incoming item dominates the window entry: evict it.
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        window.push(i);
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_valid_skyline, naive_skyline};
+    use mcn_graph::CostVec;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cv(v: &[f64]) -> CostVec {
+        CostVec::from_slice(v)
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<CostVec> = vec![];
+        assert!(block_nested_loops(&items).is_empty());
+    }
+
+    #[test]
+    fn single_item_is_skyline() {
+        let items = vec![cv(&[3.0, 4.0])];
+        assert_eq!(block_nested_loops(&items), vec![0]);
+    }
+
+    #[test]
+    fn dominated_items_are_removed() {
+        let items = vec![
+            cv(&[5.0, 5.0]),
+            cv(&[1.0, 1.0]), // dominates everything else
+            cv(&[2.0, 3.0]),
+            cv(&[0.5, 4.0]), // incomparable with [1,1]
+        ];
+        let mut got = block_nested_loops(&items);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_vectors_are_all_kept() {
+        let items = vec![cv(&[1.0, 2.0]), cv(&[1.0, 2.0]), cv(&[0.0, 9.0])];
+        let mut got = block_nested_loops(&items);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn anti_correlated_data_has_large_skyline() {
+        // Points on the line x + y = 10 are mutually incomparable.
+        let items: Vec<CostVec> = (0..=10).map(|i| cv(&[i as f64, 10.0 - i as f64])).collect();
+        assert_eq!(block_nested_loops(&items).len(), 11);
+    }
+
+    #[test]
+    fn correlated_data_has_small_skyline() {
+        // Points on the line y = x: only the minimum survives.
+        let items: Vec<CostVec> = (0..100).map(|i| cv(&[i as f64, i as f64])).collect();
+        assert_eq!(block_nested_loops(&items), vec![0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_clusters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for d in 2..=5 {
+            let items: Vec<CostVec> = (0..300)
+                .map(|_| {
+                    let v: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..100.0)).collect();
+                    cv(&v)
+                })
+                .collect();
+            let got = block_nested_loops(&items);
+            assert!(is_valid_skyline(&items, &got), "mismatch at d={d}");
+            assert_eq!(got.len(), naive_skyline(&items).len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bnl_equals_naive(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..50.0, 3), 0..60),
+        ) {
+            let items: Vec<CostVec> = points.iter().map(|p| cv(p)).collect();
+            let got = block_nested_loops(&items);
+            prop_assert!(is_valid_skyline(&items, &got));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Divide-and-conquer skyline computation.
+
+use crate::SkylineItem;
+use mcn_graph::dominates;
+
+/// Computes the skyline of `items` with a divide-and-conquer strategy
+/// (Börzsönyi et al., ICDE 2001).
+///
+/// The input is split in half on the first dimension's median; the skylines of
+/// the two halves are computed recursively and then merged by removing from
+/// the "worse" half every entry dominated by an entry of the "better" half.
+/// Small partitions fall back to an in-memory nested-loops pass.
+///
+/// Returns indices into `items` (order unspecified but deterministic).
+pub fn divide_and_conquer<T: SkylineItem>(items: &[T]) -> Vec<usize> {
+    let indices: Vec<usize> = (0..items.len()).collect();
+    dc(items, indices)
+}
+
+const SMALL_PARTITION: usize = 16;
+
+fn dc<T: SkylineItem>(items: &[T], mut subset: Vec<usize>) -> Vec<usize> {
+    if subset.len() <= SMALL_PARTITION {
+        return nested_loops(items, &subset);
+    }
+    // Partition on the median of the first dimension.
+    subset.sort_by(|&a, &b| {
+        items[a].costs()[0]
+            .total_cmp(&items[b].costs()[0])
+            .then_with(|| items[a].costs().lex_cmp(items[b].costs()))
+    });
+    let mid = subset.len() / 2;
+    let right = subset.split_off(mid);
+    let left = subset;
+
+    let left_sky = dc(items, left);
+    let right_sky = dc(items, right);
+
+    // Every survivor of the left half is in the final skyline of the union
+    // only if not dominated by a right survivor and vice versa; since the left
+    // half has smaller first components, left entries can only be dominated by
+    // right entries that are ≤ in *all* dimensions, which the generic check
+    // below covers. We simply merge with mutual filtering.
+    let mut merged = Vec::with_capacity(left_sky.len() + right_sky.len());
+    for &l in &left_sky {
+        if !right_sky
+            .iter()
+            .any(|&r| dominates(items[r].costs(), items[l].costs()))
+        {
+            merged.push(l);
+        }
+    }
+    for &r in &right_sky {
+        if !left_sky
+            .iter()
+            .any(|&l| dominates(items[l].costs(), items[r].costs()))
+        {
+            merged.push(r);
+        }
+    }
+    merged
+}
+
+fn nested_loops<T: SkylineItem>(items: &[T], subset: &[usize]) -> Vec<usize> {
+    let mut result = Vec::new();
+    'outer: for &i in subset {
+        for &j in subset {
+            if i != j && dominates(items[j].costs(), items[i].costs()) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_nested_loops, is_valid_skyline};
+    use mcn_graph::CostVec;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cv(v: &[f64]) -> CostVec {
+        CostVec::from_slice(v)
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_nested_loops() {
+        let items = vec![cv(&[1.0, 5.0]), cv(&[2.0, 6.0]), cv(&[3.0, 2.0])];
+        let mut got = divide_and_conquer(&items);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn large_random_input_matches_bnl() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for d in 2..=5 {
+            let items: Vec<CostVec> = (0..500)
+                .map(|_| {
+                    let v: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..100.0)).collect();
+                    cv(&v)
+                })
+                .collect();
+            let mut a = divide_and_conquer(&items);
+            let mut b = block_nested_loops(&items);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "D&C and BNL disagree at d={d}");
+        }
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let items: Vec<CostVec> = (0..40).map(|_| cv(&[1.0, 1.0])).collect();
+        assert_eq!(divide_and_conquer(&items).len(), 40);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dc_is_valid_skyline(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..30.0, 3), 0..120),
+        ) {
+            let items: Vec<CostVec> = points.iter().map(|p| cv(p)).collect();
+            let got = divide_and_conquer(&items);
+            prop_assert!(is_valid_skyline(&items, &got));
+        }
+    }
+}

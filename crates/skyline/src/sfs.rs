@@ -1,0 +1,116 @@
+//! Sort-filter-skyline (SFS): skyline with presorting.
+
+use crate::SkylineItem;
+use mcn_graph::dominates;
+
+/// Computes the skyline of `items` with the sort-filter-skyline approach of
+/// Chomicki et al. (presorting, Section II-A of the paper).
+///
+/// The input is first sorted by a monotone *entropy* score (here the sum of
+/// the components, ties broken lexicographically). Because any tuple can only
+/// be dominated by tuples with a strictly smaller score, a single pass that
+/// compares each tuple against the already-admitted skyline suffices, and
+/// every admitted tuple is immediately final — the algorithm is *progressive*.
+///
+/// Returns indices into `items`, ordered by ascending score.
+pub fn sort_filter_skyline<T: SkylineItem>(items: &[T]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = (items[a].costs(), items[b].costs());
+        ca.total()
+            .total_cmp(&cb.total())
+            .then_with(|| ca.lex_cmp(cb))
+    });
+
+    let mut skyline: Vec<usize> = Vec::new();
+    'outer: for &i in &order {
+        for &s in &skyline {
+            if dominates(items[s].costs(), items[i].costs()) {
+                continue 'outer;
+            }
+        }
+        skyline.push(i);
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_nested_loops, is_valid_skyline};
+    use mcn_graph::CostVec;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cv(v: &[f64]) -> CostVec {
+        CostVec::from_slice(v)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<CostVec> = vec![];
+        assert!(sort_filter_skyline(&empty).is_empty());
+        assert_eq!(sort_filter_skyline(&[cv(&[1.0, 2.0])]), vec![0]);
+    }
+
+    #[test]
+    fn output_sorted_by_entropy() {
+        let items = vec![
+            cv(&[4.0, 4.0]), // total 8, dominated
+            cv(&[1.0, 2.0]), // total 3
+            cv(&[0.0, 9.0]), // total 9, incomparable
+            cv(&[2.0, 0.5]), // total 2.5
+        ];
+        let got = sort_filter_skyline(&items);
+        assert_eq!(got, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn equal_vectors_kept() {
+        let items = vec![cv(&[2.0, 2.0]), cv(&[2.0, 2.0])];
+        assert_eq!(sort_filter_skyline(&items).len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_bnl_on_random_data() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for d in 2..=5 {
+            let items: Vec<CostVec> = (0..400)
+                .map(|_| {
+                    let v: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
+                    cv(&v)
+                })
+                .collect();
+            let mut a = sort_filter_skyline(&items);
+            let mut b = block_nested_loops(&items);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "SFS and BNL disagree at d={d}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sfs_is_valid_skyline(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..20.0, 4), 0..60),
+        ) {
+            let items: Vec<CostVec> = points.iter().map(|p| cv(p)).collect();
+            let got = sort_filter_skyline(&items);
+            prop_assert!(is_valid_skyline(&items, &got));
+        }
+
+        #[test]
+        fn prop_sfs_output_monotone_in_entropy(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..20.0, 3), 1..50),
+        ) {
+            let items: Vec<CostVec> = points.iter().map(|p| cv(p)).collect();
+            let got = sort_filter_skyline(&items);
+            for w in got.windows(2) {
+                prop_assert!(items[w[0]].total() <= items[w[1]].total() + 1e-9);
+            }
+        }
+    }
+}

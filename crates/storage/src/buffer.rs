@@ -1,0 +1,351 @@
+//! An LRU buffer pool over a [`DiskManager`].
+//!
+//! The paper's experiments vary the buffer size between 0 % and 2 % of the
+//! pages occupied by the MCN (1 % by default) and show that LSA — which may
+//! request the same adjacency or facility page up to `d` times — benefits from
+//! the buffer much more than CEA, which touches each page at most once. The
+//! pool therefore keeps precise hit/miss counters (see [`IoStats`]).
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fixed-capacity page cache with least-recently-used eviction.
+///
+/// * `capacity == 0` models the paper's "no buffer" configuration: every
+///   logical read becomes a physical read.
+/// * The pool is read-oriented (the MCN store is write-once/read-many);
+///   [`BufferPool::write_through`] updates both the cache and the disk.
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    inner: Mutex<Lru>,
+    logical_reads: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Doubly-linked-list LRU over page frames. `usize::MAX` acts as the null link.
+struct Lru {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+}
+
+struct Frame {
+    id: PageId,
+    page: Page,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl Lru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            frames: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.push_front(idx);
+    }
+
+    /// Looks up a page, marking it most recently used.
+    fn get(&mut self, id: PageId) -> Option<usize> {
+        let idx = *self.map.get(&id)?;
+        self.touch(idx);
+        Some(idx)
+    }
+
+    /// Inserts a page, evicting the LRU entry if at capacity. Returns the frame
+    /// index, or `None` if the capacity is zero.
+    fn insert(&mut self, id: PageId, page: Page) -> Option<usize> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].page = page;
+            self.touch(idx);
+            return Some(idx);
+        }
+        let idx = if self.map.len() < self.capacity {
+            if let Some(idx) = self.free.pop() {
+                idx
+            } else {
+                self.frames.push(Frame {
+                    id,
+                    page: Page::zeroed(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.frames.len() - 1
+            }
+        } else {
+            // Evict the least recently used frame.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 but no victim");
+            self.detach(victim);
+            let old_id = self.frames[victim].id;
+            self.map.remove(&old_id);
+            victim
+        };
+        self.frames[idx].id = id;
+        self.frames[idx].page = page;
+        self.map.insert(id, idx);
+        self.push_front(idx);
+        Some(idx)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool over `disk` holding at most `capacity` pages.
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
+        Self {
+            disk,
+            inner: Mutex::new(Lru::new(capacity)),
+            logical_reads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Maximum number of cached pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Empties the cache and resets the hit/miss counters (the underlying
+    /// disk's physical counters are not touched).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Changes the capacity, clearing the cache.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.clear();
+        inner.capacity = capacity;
+    }
+
+    /// Reads page `id` (from the cache if possible) and passes its bytes to
+    /// `f`, returning `f`'s result.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.get(id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return f(inner.frames[idx].page.bytes());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut page = Page::zeroed();
+        self.disk.read_page(id, &mut page);
+        if inner.capacity == 0 {
+            // Zero-capacity pool (the paper's "no buffer" setting): serve the
+            // closure from the transient copy without caching it.
+            drop(inner);
+            return f(page.bytes());
+        }
+        let idx = inner
+            .insert(id, page)
+            .expect("insert cannot fail with non-zero capacity");
+        f(inner.frames[idx].page.bytes())
+    }
+
+    /// Writes `page` to the disk and refreshes any cached copy.
+    pub fn write_through(&self, id: PageId, page: &Page) {
+        self.disk.write_page(id, page);
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&id) {
+            inner.insert(id, page.clone());
+        }
+    }
+
+    /// Snapshot of the I/O counters (pool + underlying disk).
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            buffer_hits: self.hits.load(Ordering::Relaxed),
+            buffer_misses: self.misses.load(Ordering::Relaxed),
+            physical_reads: self.disk.physical_reads(),
+            physical_writes: self.disk.physical_writes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn make_disk(pages: usize) -> Arc<InMemoryDisk> {
+        let disk = Arc::new(InMemoryDisk::new());
+        for i in 0..pages {
+            let id = disk.allocate_page();
+            let mut p = Page::zeroed();
+            p.bytes_mut()[0] = i as u8;
+            disk.write_page(id, &p);
+        }
+        disk
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let disk = make_disk(4);
+        let pool = BufferPool::new(disk, 2);
+        assert_eq!(pool.with_page(PageId::new(0), |b| b[0]), 0);
+        assert_eq!(pool.with_page(PageId::new(0), |b| b[0]), 0);
+        assert_eq!(pool.with_page(PageId::new(1), |b| b[0]), 1);
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.buffer_misses, 2);
+        assert_eq!(s.physical_reads, 2); // the writes in make_disk are not reads
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let disk = make_disk(3);
+        let pool = BufferPool::new(disk, 2);
+        pool.with_page(PageId::new(0), |_| ());
+        pool.with_page(PageId::new(1), |_| ());
+        // Touch page 0 so page 1 becomes the LRU victim.
+        pool.with_page(PageId::new(0), |_| ());
+        pool.with_page(PageId::new(2), |_| ()); // evicts page 1
+        let before = pool.stats();
+        pool.with_page(PageId::new(0), |_| ()); // still cached → hit
+        let after = pool.stats();
+        assert_eq!(after.buffer_hits, before.buffer_hits + 1);
+        pool.with_page(PageId::new(1), |_| ()); // evicted → miss
+        assert_eq!(pool.stats().buffer_misses, after.buffer_misses + 1);
+        assert_eq!(pool.cached_pages(), 2);
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_disk() {
+        let disk = make_disk(1);
+        let pool = BufferPool::new(disk.clone(), 2);
+        pool.with_page(PageId::new(0), |_| ());
+        let mut p = Page::zeroed();
+        p.bytes_mut()[0] = 200;
+        pool.write_through(PageId::new(0), &p);
+        // Cached copy refreshed → read returns the new value without a miss.
+        let misses_before = pool.stats().buffer_misses;
+        assert_eq!(pool.with_page(PageId::new(0), |b| b[0]), 200);
+        assert_eq!(pool.stats().buffer_misses, misses_before);
+        // Disk also has the new value.
+        let mut out = Page::zeroed();
+        disk.read_page(PageId::new(0), &mut out);
+        assert_eq!(out.bytes()[0], 200);
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_caches() {
+        let disk = make_disk(2);
+        let pool = BufferPool::new(disk, 0);
+        for _ in 0..3 {
+            assert_eq!(pool.with_page(PageId::new(1), |b| b[0]), 1);
+        }
+        let s = pool.stats();
+        assert_eq!(s.buffer_hits, 0);
+        assert_eq!(s.buffer_misses, 3);
+        assert_eq!(pool.cached_pages(), 0);
+    }
+
+    #[test]
+    fn capacity_can_be_reconfigured() {
+        let disk = make_disk(2);
+        let pool = BufferPool::new(disk, 1);
+        pool.with_page(PageId::new(0), |_| ());
+        assert_eq!(pool.cached_pages(), 1);
+        pool.set_capacity(0);
+        assert_eq!(pool.cached_pages(), 0);
+        assert_eq!(pool.capacity(), 0);
+    }
+
+    #[test]
+    fn many_pages_cycle_through_small_pool() {
+        let disk = make_disk(64);
+        let pool = BufferPool::new(disk, 8);
+        for round in 0..3 {
+            for i in 0..64u32 {
+                let v = pool.with_page(PageId::new(i), |b| b[0]);
+                assert_eq!(v, i as u8, "round {round}");
+            }
+        }
+        assert_eq!(pool.cached_pages(), 8);
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 3 * 64);
+        // Sequential scans over 64 pages with an 8-page LRU never hit.
+        assert_eq!(s.buffer_hits, 0);
+    }
+}

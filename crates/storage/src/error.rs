@@ -1,0 +1,60 @@
+//! Error types for building and opening MCN stores.
+
+use mcn_graph::NodeId;
+use std::fmt;
+
+/// Errors produced while building or opening a disk-resident MCN store.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StorageError {
+    /// A node's adjacency record does not fit in a single page.
+    RecordTooLarge {
+        /// The offending node.
+        node: NodeId,
+        /// The record size that was required.
+        required: usize,
+        /// The maximum record size (one page).
+        maximum: usize,
+    },
+    /// The header page is missing or malformed.
+    InvalidHeader(String),
+    /// The graph is too large for the 32-bit identifier space of the layout.
+    TooManyPages,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge {
+                node,
+                required,
+                maximum,
+            } => write!(
+                f,
+                "adjacency record of node {node} needs {required} bytes but a page holds {maximum}"
+            ),
+            StorageError::InvalidHeader(msg) => write!(f, "invalid store header: {msg}"),
+            StorageError::TooManyPages => write!(f, "store exceeds the 32-bit page id space"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = StorageError::RecordTooLarge {
+            node: NodeId::new(3),
+            required: 9000,
+            maximum: 4096,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("v3") && msg.contains("9000") && msg.contains("4096"));
+        assert!(StorageError::InvalidHeader("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,183 @@
+//! # mcn-topk
+//!
+//! The **threshold-algorithm family** (Fagin, Lotem & Naor) for top-k retrieval
+//! over sorted attribute lists, as surveyed in Section II-B of the paper.
+//!
+//! These algorithms operate in a middleware setting: each of the `d`
+//! attributes of a relation is available as a list sorted in *ascending* cost
+//! order (best first, since lower cost is preferred throughout this
+//! workspace). [`threshold_algorithm`] (TA) performs sorted accesses
+//! round-robin and random accesses to complete each seen object;
+//! [`no_random_access`] (NRA) never performs random accesses and instead
+//! maintains lower/upper bounds per object.
+//!
+//! In the MCN setting the "sorted lists" are the incremental nearest-facility
+//! streams of the per-cost network expansions, and random accesses are
+//! impossible (computing one missing cost requires a full expansion). The MCN
+//! top-k algorithms of `mcn-core` therefore resemble NRA; this crate exists
+//! both as the classic reference point and as an oracle for tests: running NRA
+//! over the brute-force cost vectors must give the same result set as the MCN
+//! algorithms.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod nra;
+pub mod ta;
+
+pub use nra::no_random_access;
+pub use ta::threshold_algorithm;
+
+/// A monotone aggregate over `d` per-attribute costs. Lower is better.
+pub trait Aggregate {
+    /// Combines one cost per attribute into a single score.
+    fn combine(&self, costs: &[f64]) -> f64;
+}
+
+/// Weighted sum aggregate `f(c) = Σ αᵢ·cᵢ` with non-negative weights — the
+/// aggregate used throughout the paper's evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedSum {
+    weights: Vec<f64>,
+}
+
+impl WeightedSum {
+    /// Creates a weighted sum with the given non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite, or if `weights` is empty.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "at least one weight required");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        Self { weights }
+    }
+
+    /// Equal weights `1/d` for `d` attributes.
+    pub fn uniform(d: usize) -> Self {
+        Self::new(vec![1.0 / d as f64; d])
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Aggregate for WeightedSum {
+    fn combine(&self, costs: &[f64]) -> f64 {
+        assert_eq!(costs.len(), self.weights.len(), "arity mismatch");
+        self.weights
+            .iter()
+            .zip(costs)
+            .map(|(w, c)| w * c)
+            .sum()
+    }
+}
+
+/// A relation presented as `d` sorted lists, the input format of TA/NRA.
+///
+/// `lists[i]` holds `(object, cost_i)` pairs sorted by ascending `cost_i`.
+/// Every object must appear in every list exactly once.
+#[derive(Clone, Debug)]
+pub struct SortedLists {
+    lists: Vec<Vec<(usize, f64)>>,
+    num_objects: usize,
+}
+
+impl SortedLists {
+    /// Builds sorted lists from a dense cost matrix: `costs[obj][attr]`.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent arity or the matrix is empty in either
+    /// dimension.
+    pub fn from_matrix(costs: &[Vec<f64>]) -> Self {
+        assert!(!costs.is_empty(), "empty relation");
+        let d = costs[0].len();
+        assert!(d > 0, "relation must have at least one attribute");
+        assert!(
+            costs.iter().all(|row| row.len() == d),
+            "inconsistent attribute count"
+        );
+        let mut lists = Vec::with_capacity(d);
+        for attr in 0..d {
+            let mut list: Vec<(usize, f64)> =
+                costs.iter().enumerate().map(|(i, row)| (i, row[attr])).collect();
+            list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            lists.push(list);
+        }
+        Self {
+            lists,
+            num_objects: costs.len(),
+        }
+    }
+
+    /// Number of attributes `d`.
+    pub fn num_attributes(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of objects in the relation.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// The `i`-th sorted list.
+    pub fn list(&self, i: usize) -> &[(usize, f64)] {
+        &self.lists[i]
+    }
+}
+
+/// Brute-force top-k used as the reference implementation in tests: scores all
+/// objects and returns the `k` best `(object, score)` pairs, ties broken by
+/// object id.
+pub fn naive_topk<A: Aggregate>(costs: &[Vec<f64>], aggregate: &A, k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, row)| (i, aggregate.combine(row)))
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_sum_combines() {
+        let f = WeightedSum::new(vec![0.9, 0.1]);
+        assert!((f.combine(&[10.0, 20.0]) - 11.0).abs() < 1e-12);
+        let u = WeightedSum::uniform(4);
+        assert!((u.combine(&[4.0, 4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let _ = WeightedSum::new(vec![0.5, -0.1]);
+    }
+
+    #[test]
+    fn sorted_lists_are_sorted() {
+        let costs = vec![vec![3.0, 1.0], vec![1.0, 2.0], vec![2.0, 3.0]];
+        let lists = SortedLists::from_matrix(&costs);
+        assert_eq!(lists.num_attributes(), 2);
+        assert_eq!(lists.num_objects(), 3);
+        assert_eq!(lists.list(0), &[(1, 1.0), (2, 2.0), (0, 3.0)]);
+        assert_eq!(lists.list(1), &[(0, 1.0), (1, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn naive_topk_orders_by_score() {
+        let costs = vec![vec![3.0, 1.0], vec![1.0, 2.0], vec![2.0, 3.0]];
+        let f = WeightedSum::new(vec![1.0, 1.0]);
+        let top = naive_topk(&costs, &f, 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top.len(), 2);
+    }
+}

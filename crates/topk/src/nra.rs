@@ -1,0 +1,175 @@
+//! The no-random-access (NRA) variant of the threshold algorithm.
+
+use crate::ta::AccessStats;
+use crate::{Aggregate, SortedLists};
+use std::collections::HashMap;
+
+/// Runs the no-random-access algorithm (NRA) over `lists` and returns the `k`
+/// objects with the smallest aggregate score.
+///
+/// NRA performs only sorted accesses. For every object seen in at least one
+/// list it maintains the set of known costs; the unknown costs are bounded
+/// below by the corresponding list frontiers, which yields a **lower bound**
+/// on the object's score, and bounded above only trivially (we use the exact
+/// score once all costs are known). The algorithm stops when `k` objects have
+/// fully known scores and no other object's lower bound beats the current k-th
+/// best score.
+///
+/// This mirrors the structure of the MCN top-k algorithms in `mcn-core`, where
+/// the sorted lists are incremental network expansions and random accesses are
+/// unavailable; candidate elimination there uses exactly the same
+/// frontier-based lower bound (paper Section V).
+///
+/// Results are `(object, score)` pairs in ascending score order, ties broken by
+/// object id.
+pub fn no_random_access<A: Aggregate>(
+    lists: &SortedLists,
+    aggregate: &A,
+    k: usize,
+) -> (Vec<(usize, f64)>, AccessStats) {
+    let d = lists.num_attributes();
+    let n = lists.num_objects();
+    let k = k.min(n);
+    let mut stats = AccessStats::default();
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Partial cost vectors of every object seen so far.
+    let mut partial: HashMap<usize, Vec<Option<f64>>> = HashMap::new();
+    // Fully known objects with their exact score.
+    let mut complete: Vec<(usize, f64)> = Vec::new();
+    let mut frontier = vec![0.0f64; d];
+    let mut depth = 0usize;
+
+    loop {
+        let mut any_access = false;
+        for i in 0..d {
+            let list = lists.list(i);
+            if depth >= list.len() {
+                continue;
+            }
+            any_access = true;
+            stats.sorted_accesses += 1;
+            let (obj, cost) = list[depth];
+            frontier[i] = cost;
+            let entry = partial.entry(obj).or_insert_with(|| vec![None; d]);
+            entry[i] = Some(cost);
+            if entry.iter().all(Option::is_some) {
+                let row: Vec<f64> = entry.iter().map(|c| c.unwrap()).collect();
+                complete.push((obj, aggregate.combine(&row)));
+                partial.remove(&obj);
+            }
+        }
+        depth += 1;
+
+        complete.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if complete.len() >= k {
+            let kth = complete[k - 1].1;
+            // Lower bound of every incomplete object: unknown costs replaced by
+            // the list frontiers.
+            let incomplete_can_win = partial.values().any(|costs| {
+                let row: Vec<f64> = costs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| c.unwrap_or(frontier[i]))
+                    .collect();
+                aggregate.combine(&row) < kth
+            });
+            // Any completely unseen object has lower bound f(frontier).
+            let unseen_exists = partial.len() + complete.len() < n;
+            let unseen_can_win = unseen_exists && aggregate.combine(&frontier) < kth;
+            if !incomplete_can_win && !unseen_can_win {
+                break;
+            }
+        }
+        if !any_access {
+            break;
+        }
+    }
+
+    complete.truncate(k);
+    (complete, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_topk, threshold_algorithm, WeightedSum};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn small_example() {
+        let costs = vec![
+            vec![1.0, 9.0],
+            vec![2.0, 2.0],
+            vec![9.0, 1.0],
+            vec![5.0, 5.0],
+        ];
+        let lists = SortedLists::from_matrix(&costs);
+        let f = WeightedSum::new(vec![1.0, 1.0]);
+        let (top, stats) = no_random_access(&lists, &f, 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top.len(), 2);
+        assert_eq!(stats.random_accesses, 0);
+    }
+
+    #[test]
+    fn agrees_with_ta_scores() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..150);
+            let d = rng.gen_range(2..=4);
+            let costs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..50.0)).collect())
+                .collect();
+            let k = rng.gen_range(1..=8.min(n));
+            let f = WeightedSum::uniform(d);
+            let lists = SortedLists::from_matrix(&costs);
+            let (nra, _) = no_random_access(&lists, &f, k);
+            let (ta, _) = threshold_algorithm(&lists, &f, k, |o| costs[o].clone());
+            assert_eq!(nra.len(), ta.len());
+            for (a, b) in nra.iter().zip(&ta) {
+                assert!((a.1 - b.1).abs() < 1e-9, "NRA/TA score mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn never_uses_random_accesses() {
+        let costs = vec![vec![1.0, 2.0, 3.0]; 50];
+        let lists = SortedLists::from_matrix(&costs);
+        let f = WeightedSum::uniform(3);
+        let (_, stats) = no_random_access(&lists, &f, 5);
+        assert_eq!(stats.random_accesses, 0);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let costs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let lists = SortedLists::from_matrix(&costs);
+        let f = WeightedSum::uniform(2);
+        assert!(no_random_access(&lists, &f, 0).0.is_empty());
+        assert_eq!(no_random_access(&lists, &f, 99).0.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nra_scores_match_naive(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..50.0, 2), 1..80),
+            k in 1usize..10,
+        ) {
+            let f = WeightedSum::uniform(2);
+            let lists = SortedLists::from_matrix(&rows);
+            let (top, _) = no_random_access(&lists, &f, k);
+            let expected = naive_topk(&rows, &f, k);
+            prop_assert_eq!(top.len(), expected.len());
+            for (g, e) in top.iter().zip(&expected) {
+                prop_assert!((g.1 - e.1).abs() < 1e-9);
+            }
+        }
+    }
+}

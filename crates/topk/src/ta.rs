@@ -1,0 +1,203 @@
+//! The threshold algorithm (TA) of Fagin, Lotem and Naor.
+
+use crate::{Aggregate, SortedLists};
+use std::collections::{BTreeMap, HashSet};
+
+/// Statistics describing how much work a TA/NRA run performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of sorted (sequential) accesses performed.
+    pub sorted_accesses: usize,
+    /// Number of random accesses performed (always zero for NRA).
+    pub random_accesses: usize,
+}
+
+/// Runs the threshold algorithm over `lists` and returns the `k` objects with
+/// the smallest aggregate score, together with access statistics.
+///
+/// TA pops the head of each sorted list round-robin (one *sorted access* per
+/// list per round). Each newly seen object is completed via *random accesses*
+/// to the remaining lists (modelled by reading the full cost row from
+/// `cost_row`), and its exact score computed. The algorithm stops when the
+/// k-th best score found so far is no larger than the threshold
+/// `T = f(t₁,…,t_d)`, where `tᵢ` is the cost at the current frontier of list
+/// `i` (for minimisation, no unseen object can score below `T`).
+///
+/// Results are `(object, score)` pairs in ascending score order, ties broken by
+/// object id.
+pub fn threshold_algorithm<A, F>(
+    lists: &SortedLists,
+    aggregate: &A,
+    k: usize,
+    mut cost_row: F,
+) -> (Vec<(usize, f64)>, AccessStats)
+where
+    A: Aggregate,
+    F: FnMut(usize) -> Vec<f64>,
+{
+    let d = lists.num_attributes();
+    let n = lists.num_objects();
+    let k = k.min(n);
+    let mut stats = AccessStats::default();
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+
+    let mut seen: HashSet<usize> = HashSet::new();
+    // BTreeMap keyed by (score bits, object id) keeps the best-k ordered.
+    let mut best: BTreeMap<(u64, usize), f64> = BTreeMap::new();
+    let mut frontier = vec![0.0f64; d];
+    let mut depth = 0usize;
+
+    loop {
+        let mut any_access = false;
+        for i in 0..d {
+            let list = lists.list(i);
+            if depth >= list.len() {
+                continue;
+            }
+            any_access = true;
+            stats.sorted_accesses += 1;
+            let (obj, cost) = list[depth];
+            frontier[i] = cost;
+            if seen.insert(obj) {
+                // Random accesses to the other d-1 attributes.
+                stats.random_accesses += d - 1;
+                let row = cost_row(obj);
+                debug_assert_eq!(row.len(), d);
+                let score = aggregate.combine(&row);
+                best.insert((score.to_bits(), obj), score);
+                if best.len() > k {
+                    best.pop_last();
+                }
+            }
+        }
+        depth += 1;
+
+        let threshold = aggregate.combine(&frontier);
+        let kth_score = best.iter().next_back().map(|((_, _), s)| *s);
+        let have_k = best.len() == k;
+        if (have_k && kth_score.is_some_and(|s| s <= threshold)) || !any_access {
+            break;
+        }
+    }
+
+    let result = best
+        .into_iter()
+        .map(|((_, obj), score)| (obj, score))
+        .collect();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_topk, WeightedSum};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_ta(costs: &[Vec<f64>], weights: Vec<f64>, k: usize) -> (Vec<(usize, f64)>, AccessStats) {
+        let lists = SortedLists::from_matrix(costs);
+        let f = WeightedSum::new(weights);
+        threshold_algorithm(&lists, &f, k, |obj| costs[obj].clone())
+    }
+
+    #[test]
+    fn finds_exact_topk_small() {
+        let costs = vec![
+            vec![1.0, 9.0],
+            vec![2.0, 2.0],
+            vec![9.0, 1.0],
+            vec![5.0, 5.0],
+        ];
+        let (top, _) = run_ta(&costs, vec![1.0, 1.0], 2);
+        assert_eq!(top[0].0, 1); // total 4
+        assert_eq!(top.len(), 2);
+        let expected = naive_topk(&costs, &WeightedSum::new(vec![1.0, 1.0]), 2);
+        assert_eq!(
+            top.iter().map(|t| t.0).collect::<Vec<_>>(),
+            expected.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn k_larger_than_relation_returns_all() {
+        let costs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let (top, _) = run_ta(&costs, vec![0.5, 0.5], 10);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let costs = vec![vec![1.0, 2.0]];
+        let (top, stats) = run_ta(&costs, vec![0.5, 0.5], 0);
+        assert!(top.is_empty());
+        assert_eq!(stats.sorted_accesses, 0);
+    }
+
+    #[test]
+    fn early_termination_saves_accesses_on_correlated_data() {
+        // Strongly correlated data: the best object is at the top of every
+        // list, so TA should stop long before scanning everything.
+        let n = 1000;
+        let costs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, i as f64 + 0.5]).collect();
+        let (top, stats) = run_ta(&costs, vec![1.0, 1.0], 1);
+        assert_eq!(top[0].0, 0);
+        assert!(
+            stats.sorted_accesses < 2 * n,
+            "TA should terminate early, used {} sorted accesses",
+            stats.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn skewed_weights_change_winner() {
+        let costs = vec![vec![1.0, 100.0], vec![50.0, 1.0]];
+        let (t1, _) = run_ta(&costs, vec![1.0, 0.0], 1);
+        assert_eq!(t1[0].0, 0);
+        let (t2, _) = run_ta(&costs, vec![0.0, 1.0], 1);
+        assert_eq!(t2[0].0, 1);
+    }
+
+    #[test]
+    fn matches_naive_on_random_matrices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..200);
+            let d = rng.gen_range(2..=5);
+            let costs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let k = rng.gen_range(1..=16.min(n));
+            let f = WeightedSum::new(weights.clone());
+            let (top, _) = run_ta(&costs, weights, k);
+            let expected = naive_topk(&costs, &f, k);
+            // Compare score multisets (ties may be resolved differently).
+            let got_scores: Vec<f64> = top.iter().map(|t| t.1).collect();
+            let exp_scores: Vec<f64> = expected.iter().map(|t| t.1).collect();
+            for (g, e) in got_scores.iter().zip(&exp_scores) {
+                assert!((g - e).abs() < 1e-9, "score mismatch: {g} vs {e}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ta_scores_match_naive(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..50.0, 3), 1..80),
+            k in 1usize..10,
+        ) {
+            let f = WeightedSum::uniform(3);
+            let lists = SortedLists::from_matrix(&rows);
+            let (top, _) = threshold_algorithm(&lists, &f, k, |o| rows[o].clone());
+            let expected = naive_topk(&rows, &f, k);
+            prop_assert_eq!(top.len(), expected.len());
+            for (g, e) in top.iter().zip(&expected) {
+                prop_assert!((g.1 - e.1).abs() < 1e-9);
+            }
+        }
+    }
+}

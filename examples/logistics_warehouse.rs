@@ -1,0 +1,87 @@
+//! The paper's introductory scenario (Figure 1): goods leave a port `q` and
+//! must be stored in one of several candidate warehouses. Sensitive goods
+//! (dairy) want the *fastest* route; non-sensitive goods want the *cheapest*
+//! route (toll fees). The skyline lists every warehouse worth considering;
+//! a top-k query with the sensitive/non-sensitive traffic split as weights
+//! picks the single best one.
+//!
+//! ```text
+//! cargo run --example logistics_warehouse
+//! ```
+
+use mcn::core::prelude::*;
+use mcn::graph::{CostVec, GraphBuilder, NetworkLocation};
+use mcn::storage::{BufferConfig, MCNStore};
+use std::sync::Arc;
+
+fn main() {
+    // Cost types: (driving time in minutes, toll fee in dollars).
+    let mut b = GraphBuilder::new(2);
+    let port = b.add_node(0.0, 0.0);
+
+    // A toll highway ring and a slower toll-free arterial grid.
+    let h1 = b.add_node(4.0, 1.0);
+    let h2 = b.add_node(8.0, 1.0);
+    let a1 = b.add_node(3.0, -2.0);
+    let a2 = b.add_node(6.0, -3.0);
+    let a3 = b.add_node(9.0, -2.0);
+
+    b.add_edge(port, h1, CostVec::from_slice(&[4.0, 1.0])).unwrap(); // highway, tolled
+    b.add_edge(h1, h2, CostVec::from_slice(&[4.0, 1.0])).unwrap();
+    b.add_edge(port, a1, CostVec::from_slice(&[8.0, 0.0])).unwrap(); // arterial, free
+    b.add_edge(a1, a2, CostVec::from_slice(&[7.0, 0.0])).unwrap();
+    b.add_edge(a2, a3, CostVec::from_slice(&[7.0, 0.0])).unwrap();
+    b.add_edge(h2, a3, CostVec::from_slice(&[3.0, 0.0])).unwrap();
+
+    // Candidate warehouse sites sit on three different edges.
+    let s1 = b.add_node(10.0, 2.0);
+    let s2 = b.add_node(6.0, -5.0);
+    let s3 = b.add_node(3.0, -4.0);
+    let w_highway = b.add_edge(h2, s1, CostVec::from_slice(&[2.0, 0.0])).unwrap();
+    let w_arterial = b.add_edge(a2, s2, CostVec::from_slice(&[2.0, 0.0])).unwrap();
+    let w_mixed = b.add_edge(a1, s3, CostVec::from_slice(&[2.0, 0.0])).unwrap();
+    let p_highway = b.add_facility(w_highway, 0.5).unwrap();
+    let p_arterial = b.add_facility(w_arterial, 0.5).unwrap();
+    let p_mixed = b.add_facility(w_mixed, 0.5).unwrap();
+
+    let graph = b.build().unwrap();
+    let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Fraction(0.01)).unwrap());
+    let q = NetworkLocation::Node(port);
+
+    println!("Candidate warehouses: {p_highway} (via highway), {p_arterial} (deep arterial), {p_mixed} (near port)");
+    println!();
+
+    // 1. Decision support: the skyline of warehouses (progressively).
+    println!("Skyline (reported progressively, in pinning order):");
+    for member in mcn::core::SkylineSearch::cea(store.clone(), q) {
+        println!("  {}  (time {:.1} min, tolls {:.1} $)", member.facility, member.costs[0], member.costs[1]);
+    }
+    println!();
+
+    // 2. With a known traffic mix, a top-k query ranks them. 90 % of the loads
+    //    are sensitive (time matters), 10 % are not (money matters).
+    let sensitive_mix = WeightedSum::new(vec![0.9, 0.1]);
+    let top = topk_query(&store, q, sensitive_mix, 3, Algorithm::Cea);
+    println!("Ranking for a 90/10 sensitive/non-sensitive mix:");
+    for (rank, entry) in top.entries.iter().enumerate() {
+        println!(
+            "  #{} {}  score {:.2}  (time {:.1} min, tolls {:.1} $)",
+            rank + 1,
+            entry.facility,
+            entry.score,
+            entry.costs[0],
+            entry.costs[1]
+        );
+    }
+
+    // 3. If the mix flips, so may the winner — no need to know k in advance:
+    //    the incremental iterator hands out the next-best site on demand.
+    let cheap_mix = WeightedSum::new(vec![0.1, 0.9]);
+    let mut incremental = TopKIter::cea(store.clone(), q, cheap_mix);
+    let best = incremental.next().expect("at least one warehouse");
+    println!();
+    println!(
+        "Best site for a 10/90 mix (incremental top-1): {} with score {:.2}",
+        best.facility, best.score
+    );
+}

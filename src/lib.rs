@@ -1,0 +1,35 @@
+//! # mcn — Preference queries in large multi-cost transportation networks
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! Mouratidis, Lin & Yiu, *"Preference Queries in Large Multi-Cost
+//! Transportation Networks"*, ICDE 2010.
+//!
+//! See the individual crates for details:
+//!
+//! * [`graph`] — the multi-cost network model (nodes, edges, cost vectors,
+//!   facilities, network locations).
+//! * [`storage`] — the disk-resident storage scheme of the paper's Figure 2
+//!   (paged adjacency/facility files, B+-tree indexes, LRU buffer pool).
+//! * [`expansion`] — incremental network expansion (Dijkstra-based nearest
+//!   facility search) over the paged store.
+//! * [`core`] — the paper's contribution: LSA and CEA skyline algorithms,
+//!   the baseline, and batch/incremental top-k processing.
+//! * [`skyline`] — classic main-memory skyline algorithms (BNL, SFS, D&C).
+//! * [`topk`] — the threshold-algorithm family (TA / NRA) over sorted lists.
+//! * [`mcpp`] — multi-criteria Pareto (skyline) path computation.
+//! * [`gen`] — synthetic workload generation matching the paper's Section VI.
+//! * [`io`] — loaders/writers for common road-network file formats.
+
+#![warn(missing_docs)]
+
+pub use mcn_core as core;
+pub use mcn_expansion as expansion;
+pub use mcn_gen as gen;
+pub use mcn_graph as graph;
+pub use mcn_io as io;
+pub use mcn_mcpp as mcpp;
+pub use mcn_skyline as skyline;
+pub use mcn_storage as storage;
+pub use mcn_topk as topk;
+
+pub use mcn_core::prelude::*;

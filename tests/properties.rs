@@ -1,0 +1,131 @@
+//! Property-based integration tests: on arbitrary small random networks the
+//! disk-based LSA/CEA pipeline must agree with the in-memory brute-force
+//! oracle for both query types, and the structural invariants of the paper
+//! must hold.
+
+use mcn::core::prelude::*;
+use mcn::expansion::oracle;
+use mcn::graph::{CostVec, FacilityId, GraphBuilder, MultiCostGraph, NetworkLocation, NodeId};
+use mcn::storage::{BufferConfig, MCNStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a connected undirected network with d cost types, its facility
+/// placements, and a query node.
+fn network_strategy() -> impl Strategy<Value = (MultiCostGraph, NetworkLocation)> {
+    (
+        2usize..=4,                                  // d
+        5usize..=40,                                 // nodes
+        proptest::collection::vec((0u16..1000, 0u16..1000), 0..60), // extra edge endpoints
+        proptest::collection::vec((0u16..1000, 0.0f64..=1.0), 1..40), // facilities
+        0u16..1000,                                  // query selector
+        any::<u64>(),                                // cost seed
+    )
+        .prop_map(|(d, nodes, extra, facilities, query_sel, seed)| {
+            let mut lcg = seed;
+            let mut next_cost = move || {
+                // Small deterministic LCG so the strategy itself stays simple.
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((lcg >> 33) % 1000) as f64 / 100.0 + 0.1
+            };
+            let mut b = GraphBuilder::new(d);
+            let ids: Vec<NodeId> = (0..nodes).map(|i| b.add_node(i as f64, 0.0)).collect();
+            let mut edges = Vec::new();
+            for w in ids.windows(2) {
+                let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+                edges.push(b.add_edge(w[0], w[1], CostVec::from_slice(&costs)).unwrap());
+            }
+            for (a, c) in extra {
+                let a = ids[a as usize % nodes];
+                let c = ids[c as usize % nodes];
+                if a == c {
+                    continue;
+                }
+                let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+                edges.push(b.add_edge(a, c, CostVec::from_slice(&costs)).unwrap());
+            }
+            for (e, pos) in facilities {
+                let e = edges[e as usize % edges.len()];
+                b.add_facility(e, pos).unwrap();
+            }
+            let graph = b.build().unwrap();
+            let q = NetworkLocation::Node(ids[query_sel as usize % nodes]);
+            (graph, q)
+        })
+}
+
+fn oracle_skyline(graph: &MultiCostGraph, q: NetworkLocation) -> Vec<FacilityId> {
+    let costs = oracle::facility_cost_vectors(graph, q);
+    let items: Vec<(FacilityId, CostVec)> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (FacilityId::from(i), *c))
+        .collect();
+    let mut ids: Vec<FacilityId> = mcn::skyline::naive_skyline(&items)
+        .into_iter()
+        .map(|i| items[i].0)
+        .collect();
+    ids.sort();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_lsa_and_cea_match_the_oracle_skyline((graph, q) in network_strategy()) {
+        let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Pages(16)).unwrap());
+        let expected = oracle_skyline(&graph, q);
+        for algo in [Algorithm::Lsa, Algorithm::Cea] {
+            let mut got: Vec<FacilityId> = skyline_query(&store, q, algo)
+                .facilities
+                .iter()
+                .map(|f| f.facility)
+                .collect();
+            got.sort();
+            prop_assert_eq!(&got, &expected, "{} disagrees with the oracle", algo.name());
+        }
+    }
+
+    #[test]
+    fn prop_topk_scores_match_brute_force((graph, q) in network_strategy(), k in 1usize..10) {
+        let d = graph.num_cost_types();
+        let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Pages(16)).unwrap());
+        let f = WeightedSum::uniform(d);
+        let costs = oracle::facility_cost_vectors(&graph, q);
+        let mut brute: Vec<f64> = costs.iter().map(|c| f.score(c)).collect();
+        brute.sort_by(|a, b| a.total_cmp(b));
+        brute.truncate(k);
+
+        let got = topk_query(&store, q, f, k, Algorithm::Cea);
+        prop_assert_eq!(got.entries.len(), brute.len());
+        for (entry, expected) in got.entries.iter().zip(&brute) {
+            prop_assert!((entry.score - expected).abs() < 1e-9,
+                "score {} differs from brute force {}", entry.score, expected);
+        }
+    }
+
+    #[test]
+    fn prop_skyline_members_are_non_dominated_and_complete((graph, q) in network_strategy()) {
+        let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Pages(16)).unwrap());
+        let result = skyline_query(&store, q, Algorithm::Cea);
+        // Mutual non-domination.
+        for a in &result.facilities {
+            for b in &result.facilities {
+                if a.facility != b.facility {
+                    prop_assert!(!mcn::graph::dominates(&a.costs, &b.costs));
+                }
+            }
+        }
+        // Reported cost vectors are the true shortest-path vectors.
+        let oracle = oracle::facility_cost_vectors(&graph, q);
+        for member in &result.facilities {
+            let truth = &oracle[member.facility.index()];
+            for i in 0..graph.num_cost_types() {
+                prop_assert!((member.costs[i] - truth[i]).abs() < 1e-6,
+                    "cost {i} of {} is {} but the oracle says {}",
+                    member.facility, member.costs[i], truth[i]);
+            }
+        }
+    }
+}
