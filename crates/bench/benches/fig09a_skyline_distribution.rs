@@ -30,18 +30,14 @@ fn bench(c: &mut Criterion) {
     for (label, spec, buffer, kind) in points() {
         let (store, queries, d) = bench_fixture(&spec, buffer);
         for algo in [Algorithm::Lsa, Algorithm::Cea] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), &label),
-                &algo,
-                |b, &algo| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let q = queries[i % queries.len()];
-                        i += 1;
-                        run_single(&store, q, d, kind, algo)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), &label), &algo, |b, &algo| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    run_single(&store, q, d, kind, algo)
+                })
+            });
         }
     }
     group.finish();
@@ -59,7 +55,10 @@ fn points() -> Vec<(String, WorkloadSpec, f64, QueryKind)> {
     .map(|dist| {
         (
             dist.label().to_string(),
-            WorkloadSpec { distribution: dist, ..base.clone() },
+            WorkloadSpec {
+                distribution: dist,
+                ..base.clone()
+            },
             0.01,
             QueryKind::Skyline,
         )

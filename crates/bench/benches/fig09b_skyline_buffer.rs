@@ -30,18 +30,14 @@ fn bench(c: &mut Criterion) {
     for (label, spec, buffer, kind) in points() {
         let (store, queries, d) = bench_fixture(&spec, buffer);
         for algo in [Algorithm::Lsa, Algorithm::Cea] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), &label),
-                &algo,
-                |b, &algo| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let q = queries[i % queries.len()];
-                        i += 1;
-                        run_single(&store, q, d, kind, algo)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), &label), &algo, |b, &algo| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    run_single(&store, q, d, kind, algo)
+                })
+            });
         }
     }
     group.finish();

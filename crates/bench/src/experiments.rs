@@ -192,7 +192,12 @@ impl Experiment {
             Experiment::TopKK => [1usize, 2, 4, 8, 16]
                 .into_iter()
                 .map(|k| {
-                    measure_point(format!("k = {k}"), &base, default_buffer, QueryKind::TopK(k))
+                    measure_point(
+                        format!("k = {k}"),
+                        &base,
+                        default_buffer,
+                        QueryKind::TopK(k),
+                    )
                 })
                 .collect(),
         };

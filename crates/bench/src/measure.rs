@@ -144,7 +144,10 @@ pub fn measure_point(
 
 /// Convenience used by the Criterion benches: builds a store once and returns
 /// it together with its query locations and dimensionality.
-pub fn bench_fixture(spec: &WorkloadSpec, buffer_fraction: f64) -> (Arc<MCNStore>, Vec<mcn_graph::NetworkLocation>, usize) {
+pub fn bench_fixture(
+    spec: &WorkloadSpec,
+    buffer_fraction: f64,
+) -> (Arc<MCNStore>, Vec<mcn_graph::NetworkLocation>, usize) {
     let workload = generate_workload(spec);
     let store = Arc::new(
         MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(buffer_fraction))
@@ -165,7 +168,9 @@ pub fn run_single(
     store.buffer().clear();
     match kind {
         QueryKind::Skyline => skyline_query(store, q, algo).facilities.len(),
-        QueryKind::TopK(k) => topk_query(store, q, WeightedSum::uniform(d), k, algo).entries.len(),
+        QueryKind::TopK(k) => topk_query(store, q, WeightedSum::uniform(d), k, algo)
+            .entries
+            .len(),
     }
 }
 

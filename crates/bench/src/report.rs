@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn table_rows_follow_points() {
-        let points = vec![point("|P| = 500", 300.0, 100.0), point("|P| = 1000", 200.0, 80.0)];
+        let points = vec![
+            point("|P| = 500", 300.0, 100.0),
+            point("|P| = 1000", 200.0, 80.0),
+        ];
         let table = ExperimentTable::from_points("fig08a", "Fig. 8(a)", "|P|", &points, 0.005);
         assert_eq!(table.rows.len(), 2);
         assert!(table.rows[0].speedup > 2.5 && table.rows[0].speedup < 3.5);

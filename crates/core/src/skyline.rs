@@ -199,10 +199,9 @@ impl<A: NetworkAccess> SkylineSearch<A> {
                 .emitted
                 .iter()
                 .any(|s| dominates_weak(&s.costs, costs) && s.costs.as_slice() != costs.as_slice());
-            let dominated_by_peer = leftovers.iter().any(|(other, oc)| {
-                other != facility
-                    && mcn_graph::dominates(oc, costs)
-            });
+            let dominated_by_peer = leftovers
+                .iter()
+                .any(|(other, oc)| other != facility && mcn_graph::dominates(oc, costs));
             self.dominance_checks += self.emitted.len() + leftovers.len();
             if !dominated_by_emitted && !dominated_by_peer {
                 let member = SkylineFacility {
@@ -440,8 +439,16 @@ mod tests {
                 v
             };
             assert_eq!(lsa_ids, expected, "LSA mismatch, seed {seed}");
-            assert_eq!(result_set(&lsa), result_set(&cea), "LSA/CEA mismatch, seed {seed}");
-            assert_eq!(result_set(&lsa), result_set(&base), "LSA/baseline mismatch, seed {seed}");
+            assert_eq!(
+                result_set(&lsa),
+                result_set(&cea),
+                "LSA/CEA mismatch, seed {seed}"
+            );
+            assert_eq!(
+                result_set(&lsa),
+                result_set(&base),
+                "LSA/baseline mismatch, seed {seed}"
+            );
         }
     }
 
@@ -537,7 +544,11 @@ mod tests {
     fn stats_are_populated() {
         let (store, _, _) = random_store(2, 100, 60, 40, 2);
         let store = Arc::new(store);
-        let result = skyline_query(&store, NetworkLocation::Node(NodeId::new(0)), Algorithm::Lsa);
+        let result = skyline_query(
+            &store,
+            NetworkLocation::Node(NodeId::new(0)),
+            Algorithm::Lsa,
+        );
         assert_eq!(result.stats.algorithm, "LSA");
         assert!(result.stats.nodes_settled > 0);
         assert!(result.stats.io.logical_reads > 0);

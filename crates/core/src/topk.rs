@@ -64,7 +64,12 @@ struct TopKState<A: NetworkAccess, F: AggregateCost> {
 }
 
 impl<A: NetworkAccess, F: AggregateCost> TopKState<A, F> {
-    fn new(access: Arc<A>, location: NetworkLocation, aggregate: F, algorithm: &'static str) -> Self {
+    fn new(
+        access: Arc<A>,
+        location: NetworkLocation,
+        aggregate: F,
+        algorithm: &'static str,
+    ) -> Self {
         let d = access.num_cost_types();
         assert_eq!(
             aggregate.arity(),
@@ -229,7 +234,11 @@ fn topk_with_access<A: NetworkAccess, F: AggregateCost>(
                 match stage {
                     Stage::Growing => {
                         top.push(entry);
-                        top.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility)));
+                        top.sort_by(|a, b| {
+                            a.score
+                                .total_cmp(&b.score)
+                                .then(a.facility.cmp(&b.facility))
+                        });
                         if top.len() == k {
                             stage = Stage::Shrinking;
                             state.enter_shrinking();
@@ -242,7 +251,9 @@ fn topk_with_access<A: NetworkAccess, F: AggregateCost>(
                             top.pop();
                             top.push(entry);
                             top.sort_by(|a, b| {
-                                a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility))
+                                a.score
+                                    .total_cmp(&b.score)
+                                    .then(a.facility.cmp(&b.facility))
                             });
                         }
                     }
@@ -296,14 +307,22 @@ fn topk_with_access<A: NetworkAccess, F: AggregateCost>(
                 }
             })
             .collect();
-        leftovers.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility)));
+        leftovers.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then(a.facility.cmp(&b.facility))
+        });
         for entry in leftovers {
             if top.len() == k {
                 break;
             }
             top.push(entry);
         }
-        top.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility)));
+        top.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then(a.facility.cmp(&b.facility))
+        });
     }
 
     top.truncate(k);
@@ -383,7 +402,11 @@ pub fn baseline_topk<F: AggregateCost>(
             }
         })
         .collect();
-    entries.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility)));
+    entries.sort_by(|a, b| {
+        a.score
+            .total_cmp(&b.score)
+            .then(a.facility.cmp(&b.facility))
+    });
     entries.truncate(k);
 
     let stats = QueryStats {
@@ -419,14 +442,24 @@ pub struct TopKIter<A: NetworkAccess, F: AggregateCost> {
 impl<F: AggregateCost> TopKIter<DirectAccess, F> {
     /// Starts an incremental top-k iteration with LSA-style access.
     pub fn lsa(store: Arc<MCNStore>, location: NetworkLocation, aggregate: F) -> Self {
-        Self::new(Arc::new(DirectAccess::new(store)), location, aggregate, "LSA")
+        Self::new(
+            Arc::new(DirectAccess::new(store)),
+            location,
+            aggregate,
+            "LSA",
+        )
     }
 }
 
 impl<F: AggregateCost> TopKIter<SharedAccess, F> {
     /// Starts an incremental top-k iteration with CEA-style access.
     pub fn cea(store: Arc<MCNStore>, location: NetworkLocation, aggregate: F) -> Self {
-        Self::new(Arc::new(SharedAccess::new(store)), location, aggregate, "CEA")
+        Self::new(
+            Arc::new(SharedAccess::new(store)),
+            location,
+            aggregate,
+            "CEA",
+        )
     }
 }
 
@@ -460,8 +493,11 @@ impl<A: NetworkAccess, F: AggregateCost> TopKIter<A, F> {
     }
 
     fn sort_ready(&mut self) {
-        self.ready
-            .sort_by(|a, b| a.score.total_cmp(&b.score).then(a.facility.cmp(&b.facility)));
+        self.ready.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then(a.facility.cmp(&b.facility))
+        });
     }
 
     /// True iff the best ready entry may be reported (condition (iii)).
@@ -631,8 +667,9 @@ mod tests {
         let store = Arc::new(store);
         let f = WeightedSum::new(vec![0.5, 0.3, 0.2]);
         let oracle = topk_oracle(&graph, q, &f, 20);
-        let incremental: Vec<TopKEntry> =
-            TopKIter::cea(store.clone(), q, f.clone()).take(20).collect();
+        let incremental: Vec<TopKEntry> = TopKIter::cea(store.clone(), q, f.clone())
+            .take(20)
+            .collect();
         assert_eq!(incremental.len(), 20);
         for (g, e) in incremental.iter().zip(&oracle) {
             assert!(

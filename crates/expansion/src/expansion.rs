@@ -141,7 +141,12 @@ impl<A: NetworkAccess> Expansion<A> {
     ///
     /// # Panics
     /// Panics if `cost_type` is not a valid cost index for the network.
-    pub fn new(access: Arc<A>, cost_type: usize, seeds: &Seeds, facility_mode: FacilityMode) -> Self {
+    pub fn new(
+        access: Arc<A>,
+        cost_type: usize,
+        seeds: &Seeds,
+        facility_mode: FacilityMode,
+    ) -> Self {
         assert!(
             cost_type < access.num_cost_types(),
             "cost type {cost_type} out of range (d = {})",

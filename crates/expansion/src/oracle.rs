@@ -139,10 +139,15 @@ mod tests {
     fn square() -> MultiCostGraph {
         let mut b = GraphBuilder::new(2);
         let v: Vec<_> = (0..4).map(|i| b.add_node(i as f64, 0.0)).collect();
-        let e01 = b.add_edge(v[0], v[1], CostVec::from_slice(&[1.0, 9.0])).unwrap();
-        b.add_edge(v[1], v[2], CostVec::from_slice(&[1.0, 1.0])).unwrap();
-        b.add_edge(v[2], v[3], CostVec::from_slice(&[1.0, 1.0])).unwrap();
-        b.add_edge(v[3], v[0], CostVec::from_slice(&[9.0, 1.0])).unwrap();
+        let e01 = b
+            .add_edge(v[0], v[1], CostVec::from_slice(&[1.0, 9.0]))
+            .unwrap();
+        b.add_edge(v[1], v[2], CostVec::from_slice(&[1.0, 1.0]))
+            .unwrap();
+        b.add_edge(v[2], v[3], CostVec::from_slice(&[1.0, 1.0]))
+            .unwrap();
+        b.add_edge(v[3], v[0], CostVec::from_slice(&[9.0, 1.0]))
+            .unwrap();
         b.add_facility(e01, 1.0).unwrap(); // p0 exactly at v1
         b.add_facility(EdgeId::new(2), 0.5).unwrap(); // p1 mid of v2–v3
         b.build().unwrap()

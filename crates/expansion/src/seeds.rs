@@ -64,8 +64,7 @@ pub fn seeds_for_location<A: NetworkAccess>(access: &A, location: NetworkLocatio
                         true
                     };
                     if reachable {
-                        facility_seeds
-                            .push((*fid, entry.costs.scale((pos - position).abs())));
+                        facility_seeds.push((*fid, entry.costs.scale((pos - position).abs())));
                     }
                 }
             }

@@ -73,7 +73,7 @@ fn cost_factors(rng: &mut ChaCha8Rng, d: usize, distribution: CostDistribution) 
     match distribution {
         CostDistribution::Independent => (0..d).map(|_| rng.gen_range(0.2..1.8)).collect(),
         CostDistribution::Correlated => {
-            let base = rng.gen_range(0.2..1.8);
+            let base: f64 = rng.gen_range(0.2..1.8);
             (0..d)
                 .map(|_| (base + rng.gen_range(-0.1f64..0.1)).clamp(0.05, 2.0))
                 .collect()
@@ -137,7 +137,10 @@ mod tests {
             assert!(!costs.is_empty());
             for cv in &costs {
                 assert_eq!(cv.len(), 4);
-                assert!(cv.iter().all(|c| c > 0.0), "{dist:?} produced non-positive cost");
+                assert!(
+                    cv.iter().all(|c| c > 0.0),
+                    "{dist:?} produced non-positive cost"
+                );
             }
         }
     }
@@ -150,8 +153,14 @@ mod tests {
         let corr = empirical_correlation(&sample(CostDistribution::Correlated), 0, 1);
         let anti = empirical_correlation(&sample(CostDistribution::AntiCorrelated), 0, 1);
         let ind = empirical_correlation(&sample(CostDistribution::Independent), 0, 1);
-        assert!(corr > ind, "correlated ({corr}) should exceed independent ({ind})");
-        assert!(anti < ind, "anti-correlated ({anti}) should fall below independent ({ind})");
+        assert!(
+            corr > ind,
+            "correlated ({corr}) should exceed independent ({ind})"
+        );
+        assert!(
+            anti < ind,
+            "anti-correlated ({anti}) should fall below independent ({ind})"
+        );
         assert!(corr > 0.8, "correlated correlation too weak: {corr}");
     }
 

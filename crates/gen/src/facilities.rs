@@ -48,7 +48,10 @@ pub type Placement = (EdgeId, f64);
 /// mutable builder in the workload pipeline).
 pub fn place_facilities(graph: &MultiCostGraph, spec: &FacilitySpec) -> Vec<Placement> {
     assert!(spec.clusters >= 1, "at least one cluster required");
-    assert!(graph.num_edges() > 0, "graph has no edges to place facilities on");
+    assert!(
+        graph.num_edges() > 0,
+        "graph has no edges to place facilities on"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
 
     // Cluster centres: random distinct-ish nodes (duplicates allowed for tiny

@@ -88,7 +88,10 @@ impl Topology {
 /// candidate list and skipped whenever it would disconnect the graph (checked
 /// with a union-find structure built over the retained edges).
 pub fn generate_topology(spec: &NetworkSpec) -> Topology {
-    assert!(spec.width >= 2 && spec.height >= 2, "grid must be at least 2×2");
+    assert!(
+        spec.width >= 2 && spec.height >= 2,
+        "grid must be at least 2×2"
+    );
     assert!(
         (0.0..=0.4).contains(&spec.removal_rate),
         "removal rate must be within [0, 0.4]"
@@ -173,7 +176,11 @@ pub fn build_graph(
     topology: &Topology,
     costs: &[mcn_graph::CostVec],
 ) -> (MultiCostGraph, Vec<EdgeId>) {
-    assert_eq!(topology.edges.len(), costs.len(), "one cost vector per edge");
+    assert_eq!(
+        topology.edges.len(),
+        costs.len(),
+        "one cost vector per edge"
+    );
     let d = costs.first().map(|c| c.len()).unwrap_or(2);
     let mut b = GraphBuilder::with_capacity(d, topology.num_nodes(), topology.num_edges(), 0);
     for &(x, y) in &topology.positions {

@@ -113,7 +113,9 @@ pub fn generate_workload(spec: &WorkloadSpec) -> Workload {
         builder.add_node(x, y);
     }
     for ((a, b, _), w) in topology.edges.iter().zip(&costs) {
-        builder.add_edge(*a, *b, *w).expect("edge re-insertion is valid");
+        builder
+            .add_edge(*a, *b, *w)
+            .expect("edge re-insertion is valid");
     }
     for (edge, position) in placements {
         // Edge identifiers are identical between the skeleton and the rebuilt

@@ -25,7 +25,9 @@ impl fmt::Display for IoFormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoFormatError::Io(e) => write!(f, "I/O error: {e}"),
-            IoFormatError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            IoFormatError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
             IoFormatError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
     }
@@ -242,23 +244,34 @@ pub fn load_csv<R: BufRead>(reader: R) -> Result<MultiCostGraph, IoFormatError> 
             _ => {
                 let fields: Vec<&str> = line.split(',').collect();
                 match section {
-                    Section::None => return Err(parse_err(lineno + 1, "data before a section header")),
+                    Section::None => {
+                        return Err(parse_err(lineno + 1, "data before a section header"))
+                    }
                     Section::Nodes => {
                         if fields.len() != 3 {
                             return Err(parse_err(lineno + 1, "node rows have 3 fields"));
                         }
-                        let x: f64 = fields[1].parse().map_err(|_| parse_err(lineno + 1, "bad x"))?;
-                        let y: f64 = fields[2].parse().map_err(|_| parse_err(lineno + 1, "bad y"))?;
+                        let x: f64 = fields[1]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad x"))?;
+                        let y: f64 = fields[2]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad y"))?;
                         nodes.push((x, y));
                     }
                     Section::Edges => {
                         if fields.len() < 5 {
                             return Err(parse_err(lineno + 1, "edge rows have at least 5 fields"));
                         }
-                        let s: u32 = fields[1].parse().map_err(|_| parse_err(lineno + 1, "bad source"))?;
-                        let t: u32 = fields[2].parse().map_err(|_| parse_err(lineno + 1, "bad target"))?;
+                        let s: u32 = fields[1]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad source"))?;
+                        let t: u32 = fields[2]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad target"))?;
                         let directed = fields[3] == "1";
-                        let costs: Result<Vec<f64>, _> = fields[4..].iter().map(|f| f.parse()).collect();
+                        let costs: Result<Vec<f64>, _> =
+                            fields[4..].iter().map(|f| f.parse()).collect();
                         let costs = costs.map_err(|_| parse_err(lineno + 1, "bad cost value"))?;
                         edges.push((s, t, directed, costs));
                     }
@@ -266,8 +279,12 @@ pub fn load_csv<R: BufRead>(reader: R) -> Result<MultiCostGraph, IoFormatError> 
                         if fields.len() != 3 {
                             return Err(parse_err(lineno + 1, "facility rows have 3 fields"));
                         }
-                        let e: u32 = fields[1].parse().map_err(|_| parse_err(lineno + 1, "bad edge"))?;
-                        let pos: f64 = fields[2].parse().map_err(|_| parse_err(lineno + 1, "bad position"))?;
+                        let e: u32 = fields[1]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad edge"))?;
+                        let pos: f64 = fields[2]
+                            .parse()
+                            .map_err(|_| parse_err(lineno + 1, "bad position"))?;
                         facilities.push((e, pos));
                     }
                 }
@@ -304,8 +321,11 @@ mod tests {
     fn node_edge_files_roundtrip_small_example() {
         let nodes = "# node file\n10 0.0 0.0\n11 1.0 0.0\n12 1.0 1.0\n";
         let edges = "# edge file\n0 10 11 5.0\n1 11 12 2.5\n";
-        let g = load_node_edge_files(BufReader::new(nodes.as_bytes()), BufReader::new(edges.as_bytes()))
-            .unwrap();
+        let g = load_node_edge_files(
+            BufReader::new(nodes.as_bytes()),
+            BufReader::new(edges.as_bytes()),
+        )
+        .unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.num_cost_types(), 1);
@@ -362,7 +382,10 @@ mod tests {
         assert_eq!(loaded.num_cost_types(), w.graph.num_cost_types());
         // Spot-check an edge and a facility.
         let e = EdgeId::new(3);
-        assert_eq!(loaded.edge(e).costs.as_slice(), w.graph.edge(e).costs.as_slice());
+        assert_eq!(
+            loaded.edge(e).costs.as_slice(),
+            w.graph.edge(e).costs.as_slice()
+        );
         let f = mcn_graph::FacilityId::new(5);
         assert_eq!(loaded.facility(f), w.graph.facility(f));
     }

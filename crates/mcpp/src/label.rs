@@ -99,10 +99,14 @@ mod tests {
         let up = b.add_node(1.0, 1.0);
         let down = b.add_node(1.0, -1.0);
         let t = b.add_node(2.0, 0.0);
-        b.add_edge(s, up, CostVec::from_slice(&[1.0, 10.0])).unwrap();
-        b.add_edge(up, t, CostVec::from_slice(&[1.0, 10.0])).unwrap();
-        b.add_edge(s, down, CostVec::from_slice(&[10.0, 1.0])).unwrap();
-        b.add_edge(down, t, CostVec::from_slice(&[10.0, 1.0])).unwrap();
+        b.add_edge(s, up, CostVec::from_slice(&[1.0, 10.0]))
+            .unwrap();
+        b.add_edge(up, t, CostVec::from_slice(&[1.0, 10.0]))
+            .unwrap();
+        b.add_edge(s, down, CostVec::from_slice(&[10.0, 1.0]))
+            .unwrap();
+        b.add_edge(down, t, CostVec::from_slice(&[10.0, 1.0]))
+            .unwrap();
         (b.build().unwrap(), s, t)
     }
 

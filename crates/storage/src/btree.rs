@@ -156,8 +156,7 @@ impl StaticBTree {
                         return Step::Missing;
                     }
                     let off = lo * INTERNAL_ENTRY;
-                    let child =
-                        u32::from_le_bytes(entries[off + 4..off + 8].try_into().unwrap());
+                    let child = u32::from_le_bytes(entries[off + 4..off + 8].try_into().unwrap());
                     Step::Descend(PageId::new(child))
                 }
             });

@@ -1,7 +1,5 @@
 //! Little-endian encoding helpers for fixed-layout records inside pages.
 
-use bytes::Buf;
-
 /// A cursor that appends fixed-width values to a byte buffer (typically a
 /// region of a page).
 pub struct RecordWriter<'a> {
@@ -70,7 +68,9 @@ impl<'a> RecordReader<'a> {
     /// Panics if `offset` is beyond the end of the buffer.
     pub fn new(buf: &'a [u8], offset: usize) -> Self {
         assert!(offset <= buf.len(), "record offset out of range");
-        Self { buf: &buf[offset..] }
+        Self {
+            buf: &buf[offset..],
+        }
     }
 
     /// Bytes still available.
@@ -78,29 +78,40 @@ impl<'a> RecordReader<'a> {
         self.buf.len()
     }
 
+    /// Consumes the next `N` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `N` bytes remain.
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.buf.len(), "record read past end of buffer");
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        head.try_into().unwrap()
+    }
+
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> u8 {
-        self.buf.get_u8()
+        self.take::<1>()[0]
     }
 
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> u16 {
-        self.buf.get_u16_le()
+        u16::from_le_bytes(self.take())
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> u32 {
-        self.buf.get_u32_le()
+        u32::from_le_bytes(self.take())
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> u64 {
-        self.buf.get_u64_le()
+        u64::from_le_bytes(self.take())
     }
 
     /// Reads a little-endian `f64`.
     pub fn get_f64(&mut self) -> f64 {
-        self.buf.get_f64_le()
+        f64::from_le_bytes(self.take())
     }
 }
 

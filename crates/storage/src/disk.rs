@@ -184,7 +184,8 @@ impl DiskManager for FileDisk {
         let mut file = self.file.write();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))
             .expect("seek failed");
-        file.write_all(&[0u8; PAGE_SIZE]).expect("page extend failed");
+        file.write_all(&[0u8; PAGE_SIZE])
+            .expect("page extend failed");
         PageId::new(id as u32)
     }
 

@@ -79,7 +79,11 @@ impl Page {
     /// # Panics
     /// Panics if `src` is not exactly [`PAGE_SIZE`] bytes long.
     pub fn copy_from(&mut self, src: &[u8]) {
-        assert_eq!(src.len(), PAGE_SIZE, "page copy source must be {PAGE_SIZE} bytes");
+        assert_eq!(
+            src.len(),
+            PAGE_SIZE,
+            "page copy source must be {PAGE_SIZE} bytes"
+        );
         self.data.copy_from_slice(src);
     }
 }

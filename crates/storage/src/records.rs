@@ -226,10 +226,7 @@ mod tests {
         let mut buf = vec![0u8; 2 * FACILITY_ENTRY_SIZE];
         encode_facility_entry(&mut buf, FacilityId::new(17), 0.375);
         encode_facility_entry(&mut buf[FACILITY_ENTRY_SIZE..], FacilityId::new(18), 1.0);
-        assert_eq!(
-            decode_facility_entry(&buf, 0),
-            (FacilityId::new(17), 0.375)
-        );
+        assert_eq!(decode_facility_entry(&buf, 0), (FacilityId::new(17), 0.375));
         assert_eq!(
             decode_facility_entry(&buf, FACILITY_ENTRY_SIZE),
             (FacilityId::new(18), 1.0)

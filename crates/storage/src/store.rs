@@ -7,7 +7,9 @@ use crate::disk::{DiskManager, InMemoryDisk};
 use crate::error::StorageError;
 use crate::meta::StorageMeta;
 use crate::page::{Page, PageId, PAGE_SIZE};
-use crate::records::{decode_adjacency_record, decode_facility_entry, AdjacencyList, FacilityRun, FACILITY_ENTRY_SIZE};
+use crate::records::{
+    decode_adjacency_record, decode_facility_entry, AdjacencyList, FacilityRun, FACILITY_ENTRY_SIZE,
+};
 use crate::stats::IoStats;
 use mcn_graph::{EdgeId, FacilityId, MultiCostGraph, NodeId};
 use std::sync::Arc;
@@ -28,7 +30,10 @@ impl BufferConfig {
         match *self {
             BufferConfig::Pages(n) => n,
             BufferConfig::Fraction(f) => {
-                assert!((0.0..=1.0).contains(&f), "buffer fraction must be in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "buffer fraction must be in [0, 1]"
+                );
                 (data_pages as f64 * f).round() as usize
             }
         }
@@ -180,7 +185,10 @@ impl MCNStore {
             if take > 0 {
                 self.pool.with_page(page, |bytes| {
                     for i in 0..take {
-                        out.push(decode_facility_entry(bytes, offset + i * FACILITY_ENTRY_SIZE));
+                        out.push(decode_facility_entry(
+                            bytes,
+                            offset + i * FACILITY_ENTRY_SIZE,
+                        ));
                     }
                 });
                 remaining -= take;
@@ -228,7 +236,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Builds a random connected graph with facilities for round-trip testing.
-    fn random_graph(seed: u64, nodes: usize, extra_edges: usize, facilities: usize) -> MultiCostGraph {
+    fn random_graph(
+        seed: u64,
+        nodes: usize,
+        extra_edges: usize,
+        facilities: usize,
+    ) -> MultiCostGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let d = 4;
         let mut b = GraphBuilder::new(d);

@@ -69,11 +69,7 @@ impl WeightedSum {
 impl Aggregate for WeightedSum {
     fn combine(&self, costs: &[f64]) -> f64 {
         assert_eq!(costs.len(), self.weights.len(), "arity mismatch");
-        self.weights
-            .iter()
-            .zip(costs)
-            .map(|(w, c)| w * c)
-            .sum()
+        self.weights.iter().zip(costs).map(|(w, c)| w * c).sum()
     }
 }
 
@@ -103,8 +99,11 @@ impl SortedLists {
         );
         let mut lists = Vec::with_capacity(d);
         for attr in 0..d {
-            let mut list: Vec<(usize, f64)> =
-                costs.iter().enumerate().map(|(i, row)| (i, row[attr])).collect();
+            let mut list: Vec<(usize, f64)> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, row)| (i, row[attr]))
+                .collect();
             list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             lists.push(list);
         }

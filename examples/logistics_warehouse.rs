@@ -26,20 +26,32 @@ fn main() {
     let a2 = b.add_node(6.0, -3.0);
     let a3 = b.add_node(9.0, -2.0);
 
-    b.add_edge(port, h1, CostVec::from_slice(&[4.0, 1.0])).unwrap(); // highway, tolled
-    b.add_edge(h1, h2, CostVec::from_slice(&[4.0, 1.0])).unwrap();
-    b.add_edge(port, a1, CostVec::from_slice(&[8.0, 0.0])).unwrap(); // arterial, free
-    b.add_edge(a1, a2, CostVec::from_slice(&[7.0, 0.0])).unwrap();
-    b.add_edge(a2, a3, CostVec::from_slice(&[7.0, 0.0])).unwrap();
-    b.add_edge(h2, a3, CostVec::from_slice(&[3.0, 0.0])).unwrap();
+    b.add_edge(port, h1, CostVec::from_slice(&[4.0, 1.0]))
+        .unwrap(); // highway, tolled
+    b.add_edge(h1, h2, CostVec::from_slice(&[4.0, 1.0]))
+        .unwrap();
+    b.add_edge(port, a1, CostVec::from_slice(&[8.0, 0.0]))
+        .unwrap(); // arterial, free
+    b.add_edge(a1, a2, CostVec::from_slice(&[7.0, 0.0]))
+        .unwrap();
+    b.add_edge(a2, a3, CostVec::from_slice(&[7.0, 0.0]))
+        .unwrap();
+    b.add_edge(h2, a3, CostVec::from_slice(&[3.0, 0.0]))
+        .unwrap();
 
     // Candidate warehouse sites sit on three different edges.
     let s1 = b.add_node(10.0, 2.0);
     let s2 = b.add_node(6.0, -5.0);
     let s3 = b.add_node(3.0, -4.0);
-    let w_highway = b.add_edge(h2, s1, CostVec::from_slice(&[2.0, 0.0])).unwrap();
-    let w_arterial = b.add_edge(a2, s2, CostVec::from_slice(&[2.0, 0.0])).unwrap();
-    let w_mixed = b.add_edge(a1, s3, CostVec::from_slice(&[2.0, 0.0])).unwrap();
+    let w_highway = b
+        .add_edge(h2, s1, CostVec::from_slice(&[2.0, 0.0]))
+        .unwrap();
+    let w_arterial = b
+        .add_edge(a2, s2, CostVec::from_slice(&[2.0, 0.0]))
+        .unwrap();
+    let w_mixed = b
+        .add_edge(a1, s3, CostVec::from_slice(&[2.0, 0.0]))
+        .unwrap();
     let p_highway = b.add_facility(w_highway, 0.5).unwrap();
     let p_arterial = b.add_facility(w_arterial, 0.5).unwrap();
     let p_mixed = b.add_facility(w_mixed, 0.5).unwrap();
@@ -54,7 +66,10 @@ fn main() {
     // 1. Decision support: the skyline of warehouses (progressively).
     println!("Skyline (reported progressively, in pinning order):");
     for member in mcn::core::SkylineSearch::cea(store.clone(), q) {
-        println!("  {}  (time {:.1} min, tolls {:.1} $)", member.facility, member.costs[0], member.costs[1]);
+        println!(
+            "  {}  (time {:.1} min, tolls {:.1} $)",
+            member.facility, member.costs[0], member.costs[1]
+        );
     }
     println!();
 

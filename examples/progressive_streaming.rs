@@ -24,9 +24,8 @@ fn main() {
         seed: 99,
     };
     let workload = generate_workload(&spec);
-    let store = Arc::new(
-        MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(0.01)).unwrap(),
-    );
+    let store =
+        Arc::new(MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(0.01)).unwrap());
     let q = workload.queries[0];
 
     // --- Progressive skyline -------------------------------------------------

@@ -32,9 +32,8 @@ fn main() {
         seed: 7,
     };
     let workload = generate_workload(&spec);
-    let store = Arc::new(
-        MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(0.01)).unwrap(),
-    );
+    let store =
+        Arc::new(MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(0.01)).unwrap());
     // The university sits at the workload's (random) query node.
     let university = workload.queries[0];
     println!(
@@ -78,9 +77,21 @@ fn main() {
     // The same query processed by LSA and CEA returns the same answer; the
     // difference is purely how many pages each reads (the paper's Figure 10).
     store.buffer().clear();
-    let lsa = topk_query(&store, university, WeightedSum::new(vec![0.7, 0.3]), 3, Algorithm::Lsa);
+    let lsa = topk_query(
+        &store,
+        university,
+        WeightedSum::new(vec![0.7, 0.3]),
+        3,
+        Algorithm::Lsa,
+    );
     store.buffer().clear();
-    let cea = topk_query(&store, university, WeightedSum::new(vec![0.7, 0.3]), 3, Algorithm::Cea);
+    let cea = topk_query(
+        &store,
+        university,
+        WeightedSum::new(vec![0.7, 0.3]),
+        3,
+        Algorithm::Cea,
+    );
     println!(
         "\nI/O: LSA missed the buffer {} times, CEA {} times ({}x fewer)",
         lsa.stats.io.buffer_misses,

@@ -10,7 +10,11 @@ use mcn::storage::{BufferConfig, MCNStore};
 use mcn::topk::{no_random_access, SortedLists, WeightedSum as ListWeightedSum};
 use std::sync::Arc;
 
-fn workload(seed: u64, distribution: CostDistribution, d: usize) -> (Arc<MCNStore>, mcn::gen::Workload) {
+fn workload(
+    seed: u64,
+    distribution: CostDistribution,
+    d: usize,
+) -> (Arc<MCNStore>, mcn::gen::Workload) {
     let spec = WorkloadSpec {
         nodes: 1600,
         facilities: 500,
@@ -21,7 +25,8 @@ fn workload(seed: u64, distribution: CostDistribution, d: usize) -> (Arc<MCNStor
         seed,
     };
     let w = generate_workload(&spec);
-    let store = Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.01)).unwrap());
+    let store =
+        Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.01)).unwrap());
     (store, w)
 }
 
@@ -135,7 +140,13 @@ fn skyline_contains_every_top1_winner() {
         .map(|f| f.facility)
         .collect();
     for weights in [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.9, 0.1], [0.2, 0.8]] {
-        let top = topk_query(&store, q, WeightedSum::new(weights.to_vec()), 1, Algorithm::Cea);
+        let top = topk_query(
+            &store,
+            q,
+            WeightedSum::new(weights.to_vec()),
+            1,
+            Algorithm::Cea,
+        );
         let winner = top.entries[0].facility;
         assert!(
             skyline.contains(&winner),
@@ -169,9 +180,15 @@ fn cea_io_advantage_holds_on_generated_workloads() {
     let mut cea_reads = 0u64;
     for &q in &w.queries {
         store.buffer().clear();
-        lsa_reads += skyline_query(&store, q, Algorithm::Lsa).stats.io.buffer_misses;
+        lsa_reads += skyline_query(&store, q, Algorithm::Lsa)
+            .stats
+            .io
+            .buffer_misses;
         store.buffer().clear();
-        cea_reads += skyline_query(&store, q, Algorithm::Cea).stats.io.buffer_misses;
+        cea_reads += skyline_query(&store, q, Algorithm::Cea)
+            .stats
+            .io
+            .buffer_misses;
     }
     assert!(
         cea_reads < lsa_reads,

@@ -62,7 +62,8 @@ fn file_backed_store_answers_like_the_in_memory_one() {
     }
     let disk: Arc<dyn DiskManager> = Arc::new(FileDisk::open(&path).unwrap());
     let reopened = Arc::new(MCNStore::open(disk, BufferConfig::Fraction(0.01)).unwrap());
-    let memory = Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.01)).unwrap());
+    let memory =
+        Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.01)).unwrap());
 
     for &q in &w.queries {
         let f = WeightedSum::uniform(3);
@@ -80,7 +81,8 @@ fn file_backed_store_answers_like_the_in_memory_one() {
 #[test]
 fn buffer_size_changes_io_but_not_answers() {
     let w = small_workload(13);
-    let store = Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.02)).unwrap());
+    let store =
+        Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.02)).unwrap());
     let q = w.queries[0];
 
     let with_buffer = skyline_query(&store, q, Algorithm::Lsa);
@@ -88,7 +90,11 @@ fn buffer_size_changes_io_but_not_answers() {
     let without_buffer = skyline_query(&store, q, Algorithm::Lsa);
 
     let mut a: Vec<FacilityId> = with_buffer.facilities.iter().map(|f| f.facility).collect();
-    let mut b: Vec<FacilityId> = without_buffer.facilities.iter().map(|f| f.facility).collect();
+    let mut b: Vec<FacilityId> = without_buffer
+        .facilities
+        .iter()
+        .map(|f| f.facility)
+        .collect();
     a.sort();
     b.sort();
     assert_eq!(a, b);

@@ -14,12 +14,12 @@ use std::sync::Arc;
 /// placements, and a query node.
 fn network_strategy() -> impl Strategy<Value = (MultiCostGraph, NetworkLocation)> {
     (
-        2usize..=4,                                  // d
-        5usize..=40,                                 // nodes
-        proptest::collection::vec((0u16..1000, 0u16..1000), 0..60), // extra edge endpoints
+        2usize..=4,                                                   // d
+        5usize..=40,                                                  // nodes
+        proptest::collection::vec((0u16..1000, 0u16..1000), 0..60),   // extra edge endpoints
         proptest::collection::vec((0u16..1000, 0.0f64..=1.0), 1..40), // facilities
-        0u16..1000,                                  // query selector
-        any::<u64>(),                                // cost seed
+        0u16..1000,                                                   // query selector
+        any::<u64>(),                                                 // cost seed
     )
         .prop_map(|(d, nodes, extra, facilities, query_sel, seed)| {
             let mut lcg = seed;

@@ -1,0 +1,284 @@
+//! Offline stand-in for the slice of Criterion this workspace uses.
+//!
+//! Implements enough of the `criterion` 0.5 API for the `crates/bench`
+//! suite to compile under `cargo bench --no-run` *and* to produce useful
+//! numbers when actually run: each benchmark is warmed up, then timed for
+//! the configured measurement window, and mean / min wall-clock times are
+//! printed in a criterion-like one-line format.
+//!
+//! Supported surface: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`), `bench_function`,
+//! `bench_with_input`, [`BenchmarkId::new`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Statistical analysis, plotting and baselines are out of scope.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark: a function name plus a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id with a parameter label only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    report: Option<Measurement>,
+}
+
+/// Aggregate timing of one benchmark.
+struct Measurement {
+    iterations: u64,
+    total: Duration,
+    fastest: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: a warm-up window, then timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut fastest = Duration::MAX;
+        let deadline = Instant::now() + self.config.measurement_time;
+        while iterations < self.config.sample_size as u64 || Instant::now() < deadline {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            iterations += 1;
+            total += elapsed;
+            fastest = fastest.min(elapsed);
+        }
+        self.report = Some(Measurement {
+            iterations,
+            total,
+            fastest,
+        });
+    }
+}
+
+/// Per-group run configuration.
+#[derive(Clone, Debug)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the untimed warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the timed measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher {
+            config: &self.config,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(m) if m.iterations > 0 => {
+                let mean = m.total / m.iterations as u32;
+                println!(
+                    "{}/{:<40} time: [mean {:>12.3?}  min {:>12.3?}  iters {}]",
+                    self.name, label, mean, m.fastest, m.iterations
+                );
+            }
+            _ => println!("{}/{:<40} time: [no samples]", self.name, label),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.into().render();
+        self.run(label, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &In),
+    {
+        let label = id.into().render();
+        self.run(label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a configuration-sharing group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: GroupConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; a real
+            // argument parser is out of scope for the offline shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("lsa", "P500").render(), "lsa/P500");
+        assert_eq!(BenchmarkId::from_parameter(64).render(), "64");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for the slice of serde this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! structs but never invokes a serializer in-tree, so the traits here are
+//! markers and the derives (re-exported from the vendored `serde_derive`)
+//! expand to nothing. Swap in the real serde when the build environment
+//! gains registry access.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

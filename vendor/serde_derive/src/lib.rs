@@ -1,0 +1,20 @@
+//! Offline no-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace uses the serde derives purely as annotations today (no
+//! serializer is wired up in-tree and no code takes `T: Serialize` bounds),
+//! so the offline shim expands to nothing. If a future PR adds a real
+//! serialization backend, replace this vendored pair with the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
