@@ -8,20 +8,35 @@
 //! experiments all --scale 10         # closer to the paper's full size
 //! experiments all --queries 50       # more query locations per data point
 //! experiments all --latency-ms 10    # charge 10 ms per physical page read
+//! experiments all --out results/     # persist each table as JSON
+//! experiments all --check results/   # re-parse persisted tables, no re-run
 //! ```
+//!
+//! `--out DIR` writes one `<id>.json` per selected experiment and verifies
+//! the write by reading the file back and comparing the parsed table with
+//! the in-memory one. `--check DIR` loads previously written tables without
+//! re-running anything, verifies that re-serializing the parsed value
+//! reproduces the file byte-for-byte (the serializer is deterministic, so
+//! this proves a lossless round-trip across the process restart), and
+//! renders them. Both exit non-zero on any write, parse or mismatch
+//! failure.
 
-use mcn_bench::{render_table, Experiment, ExperimentConfig};
+use mcn_bench::{render_table, Experiment, ExperimentConfig, ExperimentTable};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         print_usage();
-        return;
+        return ExitCode::SUCCESS;
     }
 
     let mut config = ExperimentConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut run_all = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut check_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -39,12 +54,18 @@ fn main() {
             "--seed" => {
                 config.seed = expect_value(&args, &mut i, "--seed");
             }
+            "--out" => {
+                out_dir = Some(expect_value(&args, &mut i, "--out"));
+            }
+            "--check" => {
+                check_dir = Some(expect_value(&args, &mut i, "--check"));
+            }
             other => match Experiment::from_id(other) {
                 Some(e) => selected.push(e),
                 None => {
                     eprintln!("unknown experiment or flag: {other}");
                     print_usage();
-                    std::process::exit(2);
+                    return ExitCode::from(2);
                 }
             },
         }
@@ -56,7 +77,22 @@ fn main() {
     if selected.is_empty() {
         eprintln!("nothing to run");
         print_usage();
-        std::process::exit(2);
+        return ExitCode::from(2);
+    }
+
+    if out_dir.is_some() && check_dir.is_some() {
+        eprintln!("--out and --check are mutually exclusive (write first, then check)");
+        return ExitCode::from(2);
+    }
+    if let Some(dir) = check_dir {
+        return check_tables(&dir, &selected);
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
     }
 
     println!(
@@ -75,6 +111,82 @@ fn main() {
     for experiment in selected {
         let table = experiment.run(&config);
         println!("{}", render_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_table(dir, &table) {
+                eprintln!("failed to persist table {}: {e}", table.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes `table` to `DIR/<id>.json` and proves the write lossless by
+/// reading the file back and comparing the re-parsed table.
+fn persist_table(dir: &Path, table: &ExperimentTable) -> Result<(), String> {
+    let path = dir.join(format!("{}.json", table.id));
+    std::fs::write(&path, table.to_json()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read back {}: {e}", path.display()))?;
+    let reparsed = ExperimentTable::from_json(&text)
+        .map_err(|e| format!("re-parse {}: {e}", path.display()))?;
+    if &reparsed != table {
+        return Err(format!(
+            "round-trip mismatch: {} differs from the in-memory table",
+            path.display()
+        ));
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Loads each selected table from `DIR/<id>.json`, verifies that the parsed
+/// value re-serializes to the identical bytes, and renders it.
+fn check_tables(dir: &Path, selected: &[Experiment]) -> ExitCode {
+    let mut failures = 0u32;
+    for experiment in selected {
+        let path = dir.join(format!("{}.json", experiment.id()));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let table = match ExperimentTable::from_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        if table.id != experiment.id() {
+            eprintln!(
+                "{} holds table `{}`, expected `{}`",
+                path.display(),
+                table.id,
+                experiment.id()
+            );
+            failures += 1;
+            continue;
+        }
+        if table.to_json() != text {
+            eprintln!(
+                "{}: re-serializing the parsed table does not reproduce the file",
+                path.display()
+            );
+            failures += 1;
+            continue;
+        }
+        println!("{}", render_table(&table));
+    }
+    if failures > 0 {
+        eprintln!("{failures} table(s) failed the check");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -91,7 +203,12 @@ fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str
 fn print_usage() {
     eprintln!(
         "usage: experiments [all | <ids>...] [--scale N] [--queries N] [--latency-ms MS] [--seed S]\n\
-         experiment ids: {}",
+         \x20                [--out DIR] [--check DIR]\n\
+         experiment ids: {}\n\
+         --out DIR    run the experiments, persist each table to DIR/<id>.json and\n\
+         \x20            verify the written file re-parses to the in-memory table\n\
+         --check DIR  skip running; load DIR/<id>.json for each selected experiment,\n\
+         \x20            verify a lossless round-trip and render the stored tables",
         Experiment::all()
             .iter()
             .map(|e| e.id())

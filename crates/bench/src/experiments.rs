@@ -6,7 +6,7 @@ use mcn_gen::{CostDistribution, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Global configuration of an experiment run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Scale-down divider applied to the paper's network/facility/query sizes
     /// (1 = the paper's full configuration, 50 = quick default).

@@ -19,7 +19,7 @@ pub enum QueryKind {
 }
 
 /// Aggregated measurements of one algorithm at one data point.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct AlgoMeasurement {
     /// Mean CPU (wall-clock) seconds per query.
     pub cpu_seconds: f64,
@@ -70,7 +70,7 @@ impl AlgoMeasurement {
 }
 
 /// Measurements of all algorithms at one data point of a figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PointMeasurement {
     /// Label of the x-axis value (e.g. `"|P| = 2000"` or `"d = 3"`).
     pub label: String,
@@ -83,14 +83,28 @@ pub struct PointMeasurement {
 }
 
 impl PointMeasurement {
+    /// Largest speedup ever reported: the ratio is capped here so that
+    /// degenerate measurements (CEA charged time of zero) stay finite and
+    /// JSON-safe instead of propagating `inf` into persisted reports.
+    pub const MAX_SPEEDUP: f64 = 1e9;
+
     /// The LSA / CEA improvement factor on charged time (the paper's headline
     /// comparison, e.g. "CEA is 2.3 times faster").
+    ///
+    /// Always finite: two zero measurements compare as `1.0` (no advantage
+    /// either way), and a zero CEA time against a non-zero LSA time reports
+    /// [`PointMeasurement::MAX_SPEEDUP`].
     pub fn speedup(&self, latency: f64) -> f64 {
         let cea = self.cea.charged_seconds(latency);
+        let lsa = self.lsa.charged_seconds(latency);
         if cea == 0.0 {
-            f64::INFINITY
+            if lsa == 0.0 {
+                1.0
+            } else {
+                Self::MAX_SPEEDUP
+            }
         } else {
-            self.lsa.charged_seconds(latency) / cea
+            (lsa / cea).min(Self::MAX_SPEEDUP)
         }
     }
 }
@@ -211,6 +225,26 @@ mod tests {
         // CEA never reads more than LSA.
         assert!(m.cea.physical_reads <= m.lsa.physical_reads + 1e-9);
         assert!(m.speedup(0.005) >= 1.0);
+    }
+
+    #[test]
+    fn zero_charged_time_keeps_speedup_finite_and_json_safe() {
+        // A degenerate point where CEA was charged nothing must not emit inf
+        // (regression test: speedup used to return f64::INFINITY here).
+        let mut m = PointMeasurement {
+            label: "degenerate".to_string(),
+            lsa: AlgoMeasurement {
+                physical_reads: 10.0,
+                ..Default::default()
+            },
+            cea: AlgoMeasurement::default(),
+            queries: 1,
+        };
+        assert_eq!(m.speedup(0.005), PointMeasurement::MAX_SPEEDUP);
+        assert!(m.speedup(0.005).is_finite());
+        // Both sides zero: no advantage either way.
+        m.lsa = AlgoMeasurement::default();
+        assert_eq!(m.speedup(0.005), 1.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::measure::PointMeasurement;
 use serde::{Deserialize, Serialize};
 
 /// One rendered row of an experiment table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Row {
     /// The x-axis label of the data point.
     pub label: String,
@@ -23,7 +23,7 @@ pub struct Row {
 }
 
 /// A complete experiment table: one row per x-axis value.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentTable {
     /// Experiment identifier (e.g. `"fig08a"`).
     pub id: String,
@@ -50,12 +50,12 @@ impl ExperimentTable {
             .iter()
             .map(|p| Row {
                 label: p.label.clone(),
-                lsa_time: p.lsa.charged_seconds(latency),
-                cea_time: p.cea.charged_seconds(latency),
-                lsa_reads: p.lsa.physical_reads,
-                cea_reads: p.cea.physical_reads,
-                speedup: p.speedup(latency),
-                result_size: p.lsa.result_size,
+                lsa_time: json_safe(p.lsa.charged_seconds(latency)),
+                cea_time: json_safe(p.cea.charged_seconds(latency)),
+                lsa_reads: json_safe(p.lsa.physical_reads),
+                cea_reads: json_safe(p.cea.physical_reads),
+                speedup: json_safe(p.speedup(latency)),
+                result_size: json_safe(p.lsa.result_size),
             })
             .collect();
         Self {
@@ -65,6 +65,30 @@ impl ExperimentTable {
             rows,
             latency,
         }
+    }
+
+    /// Serializes the table as indented JSON (the `--out` report format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a table from its JSON report representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Clamps a measurement into the finite range so persisted reports contain
+/// no `inf`/`NaN` (a corrupted measurement maps to 0, an overflowed one to
+/// `f64::MAX` with its sign).
+fn json_safe(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(f64::MIN, f64::MAX)
     }
 }
 
@@ -111,6 +135,30 @@ mod tests {
             },
             queries: 10,
         }
+    }
+
+    #[test]
+    fn degenerate_points_produce_finite_rows() {
+        // Regression test: an all-zero CEA measurement used to put
+        // f64::INFINITY into the speedup column, which no JSON consumer can
+        // represent. Every row value must come out finite.
+        let mut p = point("zero", 300.0, 100.0);
+        p.cea = AlgoMeasurement::default();
+        p.lsa.cpu_seconds = f64::NAN; // corrupted timer reading
+        let table = ExperimentTable::from_points("x", "t", "|P|", &[p], 0.005);
+        let row = &table.rows[0];
+        for v in [
+            row.lsa_time,
+            row.cea_time,
+            row.lsa_reads,
+            row.cea_reads,
+            row.speedup,
+            row.result_size,
+        ] {
+            assert!(v.is_finite(), "non-finite value {v} escaped into a row");
+        }
+        // And the table round-trips through the report format.
+        assert_eq!(ExperimentTable::from_json(&table.to_json()).unwrap(), table);
     }
 
     #[test]

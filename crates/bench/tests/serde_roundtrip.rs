@@ -1,0 +1,102 @@
+//! JSON round-trip properties for the `mcn-bench` report and configuration
+//! types — the persistence layer behind `experiments --out/--check`.
+
+use mcn_bench::{
+    AlgoMeasurement, Experiment, ExperimentConfig, ExperimentTable, PointMeasurement, QueryKind,
+    Row,
+};
+use proptest::prelude::*;
+use serde::json::{from_str, to_string};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    from_str(&to_string(value)).expect("round-trip parse")
+}
+
+fn algo(seed: f64) -> AlgoMeasurement {
+    AlgoMeasurement {
+        cpu_seconds: seed * 0.001,
+        physical_reads: seed,
+        logical_reads: seed * 2.0,
+        hit_ratio: 0.5,
+        candidates: seed + 1.0,
+        pinned: seed / 2.0,
+        result_size: 7.0,
+        nodes_settled: seed * 10.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_kind_roundtrips(k in 0usize..1000, skyline in any::<bool>()) {
+        let kind = if skyline { QueryKind::Skyline } else { QueryKind::TopK(k) };
+        prop_assert_eq!(roundtrip(&kind), kind);
+    }
+
+    #[test]
+    fn measurements_roundtrip(seed in 0.0f64..1e6, queries in 1usize..1000) {
+        let m = algo(seed);
+        prop_assert_eq!(roundtrip(&m), m);
+        let point = PointMeasurement {
+            label: format!("|P| = {queries}"),
+            lsa: algo(seed * 2.0),
+            cea: algo(seed),
+            queries,
+        };
+        prop_assert_eq!(roundtrip(&point), point.clone());
+    }
+
+    #[test]
+    fn rows_and_tables_roundtrip(
+        lsa_time in 0.0f64..1e6,
+        cea_time in 0.0f64..1e6,
+        reads in 0.0f64..1e9,
+        latency in 0.0f64..1.0,
+        n_rows in 0usize..6,
+    ) {
+        let row = Row {
+            label: "d = 4".to_string(),
+            lsa_time,
+            cea_time,
+            lsa_reads: reads,
+            cea_reads: reads / 2.0,
+            speedup: if cea_time > 0.0 { lsa_time / cea_time } else { 1.0 },
+            result_size: 5.0,
+        };
+        prop_assert_eq!(roundtrip(&row), row.clone());
+        let table = ExperimentTable {
+            id: "fig08a".to_string(),
+            title: "Fig. 8(a) — skyline: effect of |P|".to_string(),
+            x_axis: "|P|".to_string(),
+            rows: vec![row; n_rows],
+            latency,
+        };
+        prop_assert_eq!(roundtrip(&table), table.clone());
+        prop_assert_eq!(ExperimentTable::from_json(&table.to_json()).unwrap(), table);
+    }
+
+    #[test]
+    fn experiment_config_roundtrips(
+        scale in 1usize..10_000,
+        latency in 0.0f64..1.0,
+        queries in proptest::strategy::Just(None::<usize>),
+        seed in any::<u64>(),
+    ) {
+        // Both the None and Some shapes of the optional query override.
+        let none_config = ExperimentConfig { scale, latency, queries, seed };
+        prop_assert_eq!(roundtrip(&none_config), none_config.clone());
+        let some_config = ExperimentConfig { queries: Some(scale), ..none_config };
+        prop_assert_eq!(roundtrip(&some_config), some_config);
+    }
+}
+
+#[test]
+fn every_experiment_variant_roundtrips() {
+    for e in Experiment::all() {
+        assert_eq!(roundtrip(&e), e);
+    }
+}

@@ -11,7 +11,7 @@ use std::time::Duration;
 /// only the CPU side, so the harness additionally *charges* a configurable
 /// latency per physical page read (see [`QueryStats::charged_time`]) to
 /// recover the paper's time axis.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryStats {
     /// Name of the algorithm that produced the result (e.g. `"LSA"`, `"CEA"`).
     pub algorithm: String,

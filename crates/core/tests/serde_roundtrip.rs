@@ -1,0 +1,51 @@
+//! JSON round-trip property for `QueryStats`, the one `mcn-core` type with
+//! serde derives (it nests `std::time::Duration` and `IoStats`).
+
+use mcn_core::QueryStats;
+use mcn_storage::IoStats;
+use proptest::prelude::*;
+use serde::json::{from_str, to_string};
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_stats_roundtrip(
+        secs in 0u64..1_000_000,
+        nanos in 0u32..1_000_000_000,
+        logical_reads in any::<u64>(),
+        buffer_misses in any::<u64>(),
+        nodes_settled in any::<usize>(),
+        heap_pushes in any::<usize>(),
+        candidates in any::<usize>(),
+        result_size in 0usize..1_000_000,
+    ) {
+        let stats = QueryStats {
+            algorithm: format!("algo-{result_size}"),
+            elapsed: Duration::new(secs, nanos),
+            io: IoStats {
+                logical_reads,
+                buffer_misses,
+                ..Default::default()
+            },
+            nodes_settled,
+            heap_pushes,
+            heap_pops: heap_pushes / 2,
+            candidates,
+            pinned: candidates / 2,
+            dominance_checks: heap_pushes,
+            result_size,
+        };
+        let back: QueryStats = from_str(&to_string(&stats)).expect("round-trip parse");
+        prop_assert_eq!(back, stats);
+    }
+}
+
+#[test]
+fn default_stats_roundtrip() {
+    let stats = QueryStats::default();
+    let json = to_string(&stats);
+    assert!(json.contains("\"elapsed\""));
+    assert_eq!(from_str::<QueryStats>(&json).unwrap(), stats);
+}

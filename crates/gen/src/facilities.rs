@@ -36,6 +36,19 @@ impl FacilitySpec {
             seed,
         }
     }
+
+    /// Serializes the spec as indented JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a spec from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
 }
 
 /// A facility placement: the edge it falls on and the position along it.

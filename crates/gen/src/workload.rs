@@ -72,6 +72,20 @@ impl WorkloadSpec {
             seed,
         }
     }
+
+    /// Serializes the spec as indented JSON, so experiment configurations
+    /// can be persisted next to the reports they produced.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a spec from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
 }
 
 /// A fully materialised workload.

@@ -1,0 +1,89 @@
+//! JSON round-trip properties for the `mcn-gen` configuration types:
+//! workload specs, facility specs and cost distributions must survive
+//! persistence so experiment configurations can be stored next to the
+//! reports they produced.
+
+use mcn_gen::{CostDistribution, FacilitySpec, WorkloadSpec};
+use proptest::prelude::*;
+use serde::json::{from_str, to_string};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    from_str(&to_string(value)).expect("round-trip parse")
+}
+
+fn distribution(choice: u8) -> CostDistribution {
+    match choice % 3 {
+        0 => CostDistribution::Independent,
+        1 => CostDistribution::Correlated,
+        _ => CostDistribution::AntiCorrelated,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn workload_spec_roundtrips(
+        nodes in 100usize..1_000_000,
+        facilities in 10usize..100_000,
+        cost_types in 1usize..=8,
+        choice in any::<u8>(),
+        clusters in 1usize..20,
+        queries in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            nodes,
+            facilities,
+            cost_types,
+            distribution: distribution(choice),
+            clusters,
+            queries,
+            seed,
+        };
+        prop_assert_eq!(roundtrip(&spec), spec.clone());
+        // The named helpers round-trip too.
+        prop_assert_eq!(WorkloadSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn facility_spec_roundtrips(
+        count in 0usize..1_000_000,
+        clusters in 1usize..50,
+        sigma_hops in 0.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = FacilitySpec { count, clusters, sigma_hops, seed };
+        prop_assert_eq!(roundtrip(&spec), spec.clone());
+        prop_assert_eq!(FacilitySpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+}
+
+#[test]
+fn cost_distribution_variants_roundtrip() {
+    for dist in [
+        CostDistribution::Independent,
+        CostDistribution::Correlated,
+        CostDistribution::AntiCorrelated,
+    ] {
+        assert_eq!(roundtrip(&dist), dist);
+        // Unit variants are externally tagged as bare strings.
+        assert_eq!(to_string(&dist), format!("\"{dist:?}\""));
+    }
+}
+
+#[test]
+fn paper_defaults_survive_persistence() {
+    let spec = WorkloadSpec::paper_default();
+    let json = spec.to_json();
+    assert!(json.contains("\"seed\": 2010"));
+    assert_eq!(WorkloadSpec::from_json(&json).unwrap(), spec);
+    assert!(
+        WorkloadSpec::from_json("{\"nodes\": 1}").is_err(),
+        "missing fields must error"
+    );
+    assert!(WorkloadSpec::from_json("not json").is_err());
+}

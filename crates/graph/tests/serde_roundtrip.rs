@@ -1,0 +1,159 @@
+//! JSON round-trip properties for every `mcn-graph` type that derives
+//! `Serialize`/`Deserialize`: `from_str(to_string(x))` must reproduce `x`,
+//! including float edge cases (zero, negative zero, very large values) and
+//! the `NaN` coordinates of position-less nodes.
+
+use mcn_graph::{
+    CostVec, Edge, EdgeId, Facility, FacilityId, GraphBuilder, MultiCostGraph, NetworkLocation,
+    Node, NodeId, Path, MAX_COST_TYPES,
+};
+use proptest::prelude::*;
+use serde::json::{from_str, to_string, to_string_pretty};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    from_str(&to_string(value)).expect("round-trip parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ids_roundtrip(raw in 0u32..u32::MAX) {
+        prop_assert_eq!(roundtrip(&NodeId::new(raw)), NodeId::new(raw));
+        prop_assert_eq!(roundtrip(&EdgeId::new(raw)), EdgeId::new(raw));
+        prop_assert_eq!(roundtrip(&FacilityId::new(raw)), FacilityId::new(raw));
+    }
+
+    #[test]
+    fn cost_vec_roundtrips(
+        costs in proptest::collection::vec(-1e300f64..1e300, 1..=MAX_COST_TYPES),
+    ) {
+        let v = CostVec::from_slice(&costs);
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn node_roundtrips(x in -1e9f64..1e9, y in -1e9f64..1e9, raw in 0u32..1_000_000) {
+        let n = Node::new(NodeId::new(raw), x, y);
+        prop_assert_eq!(roundtrip(&n), n);
+    }
+
+    #[test]
+    fn edge_roundtrips(
+        costs in proptest::collection::vec(0.0f64..1e6, 1..=MAX_COST_TYPES),
+        directed in any::<bool>(),
+        raw in 0u32..1_000_000,
+    ) {
+        let w = CostVec::from_slice(&costs);
+        let e = if directed {
+            Edge::new_directed(EdgeId::new(raw), NodeId::new(raw + 1), NodeId::new(raw + 2), w)
+        } else {
+            Edge::new(EdgeId::new(raw), NodeId::new(raw + 1), NodeId::new(raw + 2), w)
+        };
+        prop_assert_eq!(roundtrip(&e), e);
+    }
+
+    #[test]
+    fn facility_roundtrips(position in 0.0f64..=1.0, raw in 0u32..1_000_000) {
+        let f = Facility::new(FacilityId::new(raw), EdgeId::new(raw), position);
+        prop_assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn network_location_roundtrips(
+        raw in 0u32..1_000_000,
+        position in 0.0f64..=1.0,
+        at_node in any::<bool>(),
+    ) {
+        let loc = if at_node {
+            NetworkLocation::at_node(NodeId::new(raw))
+        } else {
+            NetworkLocation::on_edge(EdgeId::new(raw), position)
+        };
+        prop_assert_eq!(roundtrip(&loc), loc);
+    }
+
+    #[test]
+    fn path_roundtrips(
+        hops in 0usize..6,
+        costs in proptest::collection::vec(0.0f64..1e6, 1..=4),
+    ) {
+        let path = Path {
+            nodes: (0..=hops as u32).map(NodeId::new).collect(),
+            edges: (0..hops as u32).map(EdgeId::new).collect(),
+            costs: CostVec::from_slice(&costs),
+        };
+        prop_assert_eq!(roundtrip(&path), path);
+    }
+}
+
+#[test]
+fn float_edge_cases_roundtrip_exactly() {
+    for value in [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f64::MIN,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        1e-300,
+        -1e300,
+        0.1 + 0.2, // classic non-representable sum
+    ] {
+        let v = CostVec::from_slice(&[value]);
+        let back = roundtrip(&v);
+        assert_eq!(
+            back[0].to_bits(),
+            v[0].to_bits(),
+            "bits changed for {value}"
+        );
+    }
+    // Non-finite components are not valid costs but must still survive the
+    // text format (they serialize as tagged strings, not invalid JSON).
+    let inf = CostVec::from_slice(&[f64::INFINITY, f64::NEG_INFINITY]);
+    assert_eq!(roundtrip(&inf), inf);
+}
+
+#[test]
+fn positionless_node_keeps_its_nan_coordinates() {
+    let n = Node::without_position(NodeId::new(7));
+    let back: Node = roundtrip(&n);
+    assert_eq!(back.id, n.id);
+    assert!(back.x.is_nan() && back.y.is_nan());
+    assert!(!back.has_position());
+}
+
+#[test]
+fn whole_graph_roundtrips_structurally() {
+    let mut b = GraphBuilder::new(2);
+    let v0 = b.add_node(0.0, 0.0);
+    let v1 = b.add_node(1.0, 0.0);
+    let v2 = b.add_node(1.0, 1.0);
+    let e0 = b
+        .add_edge(v0, v1, CostVec::from_slice(&[1.0, 2.0]))
+        .unwrap();
+    let e1 = b
+        .add_directed_edge(v1, v2, CostVec::from_slice(&[3.0, 4.0]))
+        .unwrap();
+    b.add_facility(e0, 0.5).unwrap();
+    b.add_facility(e1, 0.25).unwrap();
+    let g = b.build().unwrap();
+
+    let json = to_string(&g);
+    let back: MultiCostGraph = from_str(&json).unwrap();
+    // MultiCostGraph has no PartialEq; compare observable structure and the
+    // canonical serialized form (the serializer is deterministic).
+    assert_eq!(back.num_cost_types(), g.num_cost_types());
+    assert_eq!(back.num_nodes(), g.num_nodes());
+    assert_eq!(back.num_edges(), g.num_edges());
+    assert_eq!(back.num_facilities(), g.num_facilities());
+    assert_eq!(back.edge(e1).directed, true);
+    assert_eq!(to_string(&back), json);
+    // Pretty output parses to the same value as compact output.
+    let pretty: MultiCostGraph = from_str(&to_string_pretty(&g)).unwrap();
+    assert_eq!(to_string(&pretty), json);
+}

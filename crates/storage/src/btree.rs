@@ -15,6 +15,7 @@ use crate::buffer::BufferPool;
 use crate::codec::{RecordReader, RecordWriter};
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
 
 /// Size in bytes of every value stored in a tree leaf.
 pub const VALUE_SIZE: usize = 12;
@@ -31,7 +32,7 @@ const LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER) / LEAF_ENTRY;
 const INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER) / INTERNAL_ENTRY;
 
 /// Handle to a bulk-loaded static B+-tree.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StaticBTree {
     /// Root page of the tree.
     pub root: PageId,

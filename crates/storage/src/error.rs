@@ -17,6 +17,13 @@ pub enum StorageError {
     },
     /// The header page is missing or malformed.
     InvalidHeader(String),
+    /// The header image is shorter than the fixed header layout.
+    TruncatedHeader {
+        /// Bytes the header layout requires.
+        required: usize,
+        /// Bytes actually available.
+        actual: usize,
+    },
     /// The graph is too large for the 32-bit identifier space of the layout.
     TooManyPages,
 }
@@ -33,6 +40,10 @@ impl fmt::Display for StorageError {
                 "adjacency record of node {node} needs {required} bytes but a page holds {maximum}"
             ),
             StorageError::InvalidHeader(msg) => write!(f, "invalid store header: {msg}"),
+            StorageError::TruncatedHeader { required, actual } => write!(
+                f,
+                "truncated store header: {actual} bytes but the layout needs {required}"
+            ),
             StorageError::TooManyPages => write!(f, "store exceeds the 32-bit page id space"),
         }
     }
@@ -56,5 +67,10 @@ mod tests {
         assert!(StorageError::InvalidHeader("bad magic".into())
             .to_string()
             .contains("bad magic"));
+        let truncated = StorageError::TruncatedHeader {
+            required: 60,
+            actual: 12,
+        };
+        assert!(truncated.to_string().contains("60") && truncated.to_string().contains("12"));
     }
 }

@@ -4,8 +4,13 @@ use crate::btree::StaticBTree;
 use crate::codec::{RecordReader, RecordWriter};
 use crate::error::StorageError;
 use crate::page::{Page, PageId};
+use serde::{Deserialize, Serialize};
 
 const MAGIC: u32 = 0x4D_43_4E_31; // "MCN1"
+
+/// Bytes occupied by the fixed header layout: magic, four counts, three
+/// tree handles of three `u32`s each, and three page counts.
+pub const HEADER_SIZE: usize = 4 * (1 + 4 + 3 * 3 + 3);
 
 /// Global metadata of a disk-resident MCN store.
 ///
@@ -13,7 +18,7 @@ const MAGIC: u32 = 0x4D_43_4E_31; // "MCN1"
 /// trees (adjacency tree, facility tree, edge index) and the number of pages
 /// occupied by the MCN data. The latter is what the paper's buffer-size
 /// parameter (0 %–2 %) is expressed against.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageMeta {
     /// Number of cost types `d`.
     pub num_cost_types: u32,
@@ -62,9 +67,28 @@ impl StorageMeta {
     /// Parses a header from a page image.
     ///
     /// # Errors
-    /// Returns [`StorageError::InvalidHeader`] if the magic number is wrong.
+    /// Returns [`StorageError::InvalidHeader`] if the magic number or the
+    /// page accounting is wrong.
     pub fn decode(page: &Page) -> Result<Self, StorageError> {
-        let mut r = RecordReader::new(page.bytes(), 0);
+        Self::decode_bytes(page.bytes())
+    }
+
+    /// Parses a header from a raw byte image, which need not be a full page.
+    ///
+    /// # Errors
+    /// * [`StorageError::TruncatedHeader`] if fewer than [`HEADER_SIZE`]
+    ///   bytes are available;
+    /// * [`StorageError::InvalidHeader`] if the magic number is wrong (which
+    ///   also catches byte-swapped headers written on the wrong endianness)
+    ///   or the recorded page counts cannot describe a real store.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() < HEADER_SIZE {
+            return Err(StorageError::TruncatedHeader {
+                required: HEADER_SIZE,
+                actual: bytes.len(),
+            });
+        }
+        let mut r = RecordReader::new(bytes, 0);
         let magic = r.get_u32();
         if magic != MAGIC {
             return Err(StorageError::InvalidHeader(format!(
@@ -88,7 +112,7 @@ impl StorageMeta {
         let adjacency_file_pages = r.get_u32();
         let facility_file_pages = r.get_u32();
         let data_pages = r.get_u32();
-        Ok(Self {
+        let meta = Self {
             num_cost_types,
             num_nodes,
             num_edges,
@@ -99,7 +123,57 @@ impl StorageMeta {
             adjacency_file_pages,
             facility_file_pages,
             data_pages,
-        })
+        };
+        meta.validate_shape()?;
+        Ok(meta)
+    }
+
+    /// Rejects headers whose page accounting cannot describe a real store:
+    /// the data files and index trees must fit inside `data_pages`, and any
+    /// non-empty tree must root at a data page (page 0 is the header).
+    fn validate_shape(&self) -> Result<(), StorageError> {
+        let tree_pages = self.adjacency_tree.num_pages as u64
+            + self.facility_tree.num_pages as u64
+            + self.edge_index.num_pages as u64;
+        let file_pages = self.adjacency_file_pages as u64 + self.facility_file_pages as u64;
+        if tree_pages + file_pages > self.data_pages as u64 {
+            return Err(StorageError::InvalidHeader(format!(
+                "{file_pages} file pages + {tree_pages} tree pages exceed {} data pages",
+                self.data_pages
+            )));
+        }
+        for (label, tree) in [
+            ("adjacency tree", &self.adjacency_tree),
+            ("facility tree", &self.facility_tree),
+            ("edge index", &self.edge_index),
+        ] {
+            if tree.num_entries > 0 && (tree.root.raw() == 0 || tree.root.raw() > self.data_pages) {
+                return Err(StorageError::InvalidHeader(format!(
+                    "{label} roots at {} outside the {} data pages",
+                    tree.root, self.data_pages
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the header as indented JSON: the debugging sidecar companion
+    /// to the binary page-0 encoding (see [`crate::MCNStore::meta_json`]).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a header from its JSON sidecar representation.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidHeader`] when the text is not valid
+    /// JSON for this type or fails the same shape checks as
+    /// [`StorageMeta::decode`].
+    pub fn from_json(text: &str) -> Result<Self, StorageError> {
+        let meta: Self = serde::json::from_str(text)
+            .map_err(|e| StorageError::InvalidHeader(format!("sidecar JSON: {e}")))?;
+        meta.validate_shape()?;
+        Ok(meta)
     }
 }
 
@@ -147,6 +221,87 @@ mod tests {
         let page = Page::zeroed();
         assert!(matches!(
             StorageMeta::decode(&page),
+            Err(StorageError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_image_is_rejected_not_panicking() {
+        let page = sample().encode();
+        for cut in [0, 1, 4, HEADER_SIZE - 1] {
+            assert_eq!(
+                StorageMeta::decode_bytes(&page.bytes()[..cut]),
+                Err(StorageError::TruncatedHeader {
+                    required: HEADER_SIZE,
+                    actual: cut,
+                }),
+                "cut at {cut} bytes"
+            );
+        }
+        // Exactly the header length is fine even without page padding.
+        assert_eq!(
+            StorageMeta::decode_bytes(&page.bytes()[..HEADER_SIZE]).unwrap(),
+            sample()
+        );
+    }
+
+    #[test]
+    fn wrong_endian_image_is_rejected() {
+        // A writer with the opposite endianness would store every u32
+        // byte-swapped; the magic check catches that before any field is
+        // trusted.
+        let page = sample().encode();
+        let mut swapped = Page::zeroed();
+        for (i, chunk) in page.bytes().chunks(4).enumerate() {
+            let word = u32::from_le_bytes(chunk.try_into().unwrap()).swap_bytes();
+            swapped.bytes_mut()[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        assert!(matches!(
+            StorageMeta::decode(&swapped),
+            Err(StorageError::InvalidHeader(msg)) if msg.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn inconsistent_page_accounting_is_rejected() {
+        // Files + trees claiming more pages than the store records.
+        let mut meta = sample();
+        meta.data_pages = 10;
+        assert!(matches!(
+            StorageMeta::decode(&meta.encode()),
+            Err(StorageError::InvalidHeader(msg)) if msg.contains("data pages")
+        ));
+
+        // A non-empty tree rooted at the header page (or past the end).
+        let mut meta = sample();
+        meta.adjacency_tree.root = PageId::new(0);
+        assert!(matches!(
+            StorageMeta::decode(&meta.encode()),
+            Err(StorageError::InvalidHeader(msg)) if msg.contains("roots")
+        ));
+        let mut meta = sample();
+        meta.edge_index.root = PageId::new(meta.data_pages + 1);
+        assert!(matches!(
+            StorageMeta::decode(&meta.encode()),
+            Err(StorageError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn json_sidecar_roundtrips_and_validates() {
+        let meta = sample();
+        let json = meta.to_json();
+        assert!(json.contains("\"num_nodes\": 1000"));
+        assert_eq!(StorageMeta::from_json(&json).unwrap(), meta);
+        // The sidecar parser applies the same shape checks as the binary
+        // decoder.
+        let broken = json.replace("\"data_pages\": 57", "\"data_pages\": 3");
+        assert!(matches!(
+            StorageMeta::from_json(&broken),
+            Err(StorageError::InvalidHeader(_))
+        ));
+        assert!(matches!(
+            StorageMeta::from_json("{not json"),
             Err(StorageError::InvalidHeader(_))
         ));
     }

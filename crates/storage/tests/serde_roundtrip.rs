@@ -1,0 +1,101 @@
+//! JSON round-trip properties for the `mcn-storage` types with derives
+//! (`IoStats`, `PageId`, `StaticBTree`) and for the `StorageMeta` JSON
+//! sidecar, which must agree with the binary page-0 codec.
+
+use mcn_storage::{IoStats, PageId, StaticBTree, StorageMeta};
+use proptest::prelude::*;
+use serde::json::{from_str, to_string};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    from_str(&to_string(value)).expect("round-trip parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn io_stats_roundtrip(
+        logical_reads in any::<u64>(),
+        buffer_hits in any::<u64>(),
+        buffer_misses in any::<u64>(),
+        physical_reads in any::<u64>(),
+        physical_writes in any::<u64>(),
+    ) {
+        // Full-width u64 counters: the JSON integers must not pass through
+        // f64 on either side.
+        let stats = IoStats {
+            logical_reads,
+            buffer_hits,
+            buffer_misses,
+            physical_reads,
+            physical_writes,
+        };
+        prop_assert_eq!(roundtrip(&stats), stats);
+    }
+
+    #[test]
+    fn page_id_roundtrip(raw in any::<u32>()) {
+        // PageId is a newtype struct: it serializes transparently as its
+        // raw index.
+        let id = PageId::new(raw);
+        prop_assert_eq!(roundtrip(&id), id);
+        prop_assert_eq!(to_string(&id), raw.to_string());
+    }
+
+    #[test]
+    fn static_btree_roundtrip(
+        root in any::<u32>(),
+        num_pages in any::<u32>(),
+        num_entries in any::<u32>(),
+    ) {
+        let tree = StaticBTree {
+            root: PageId::new(root),
+            num_pages,
+            num_entries,
+        };
+        prop_assert_eq!(roundtrip(&tree), tree);
+    }
+
+    #[test]
+    fn storage_meta_sidecar_agrees_with_binary_codec(
+        num_cost_types in 1u32..=8,
+        num_nodes in 1u32..1_000_000,
+        num_edges in 1u32..1_000_000,
+        num_facilities in 0u32..1_000_000,
+        tree_pages in 0u32..1000,
+        file_pages in 1u32..1000,
+    ) {
+        let meta = StorageMeta {
+            num_cost_types,
+            num_nodes,
+            num_edges,
+            num_facilities,
+            adjacency_tree: StaticBTree {
+                root: PageId::new(1),
+                num_pages: tree_pages,
+                num_entries: num_nodes,
+            },
+            facility_tree: StaticBTree {
+                root: PageId::new(1),
+                num_pages: tree_pages,
+                num_entries: num_facilities,
+            },
+            edge_index: StaticBTree {
+                root: PageId::new(1),
+                num_pages: tree_pages,
+                num_entries: num_edges,
+            },
+            adjacency_file_pages: file_pages,
+            facility_file_pages: file_pages,
+            data_pages: 3 * tree_pages + 2 * file_pages,
+        };
+        // Derive-driven JSON round-trip.
+        prop_assert_eq!(roundtrip(&meta), meta);
+        // The sidecar helpers and the binary page codec agree on the value.
+        prop_assert_eq!(StorageMeta::from_json(&meta.to_json()).unwrap(), meta);
+        prop_assert_eq!(StorageMeta::decode(&meta.encode()).unwrap(), meta);
+    }
+}

@@ -55,13 +55,21 @@ fn file_backed_store_answers_like_the_in_memory_one() {
     let path = dir.join("network.mcn");
 
     // Build on a file-backed disk, drop the handle, re-open from the file.
+    let sidecar = dir.join("network.mcn.meta.json");
     {
         let disk: Arc<dyn DiskManager> = Arc::new(FileDisk::create(&path).unwrap());
         let store = MCNStore::build_on(&w.graph, disk, BufferConfig::Fraction(0.01)).unwrap();
         assert_eq!(store.num_facilities(), w.graph.num_facilities());
+        store.export_meta_json(&sidecar).unwrap();
     }
     let disk: Arc<dyn DiskManager> = Arc::new(FileDisk::open(&path).unwrap());
     let reopened = Arc::new(MCNStore::open(disk, BufferConfig::Fraction(0.01)).unwrap());
+
+    // The JSON sidecar written before the restart describes the reopened
+    // store exactly (binary page-0 codec and JSON export agree).
+    let parsed =
+        mcn::storage::StorageMeta::from_json(&std::fs::read_to_string(&sidecar).unwrap()).unwrap();
+    assert_eq!(&parsed, reopened.meta());
     let memory =
         Arc::new(MCNStore::build_in_memory(&w.graph, BufferConfig::Fraction(0.01)).unwrap());
 

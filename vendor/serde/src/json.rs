@@ -1,0 +1,774 @@
+//! Hand-rolled JSON backend: the single in-tree realisation of the
+//! [`Serializer`](crate::Serializer)/[`Deserializer`](crate::Deserializer)
+//! data model.
+//!
+//! The mapping follows serde_json's externally-tagged conventions:
+//!
+//! * structs → objects with the fields in declaration order;
+//! * newtype structs → the inner value, transparently;
+//! * unit enum variants → `"VariantName"`;
+//! * variants with a payload → `{"VariantName": payload}` (tuple payloads
+//!   of two or more fields are arrays);
+//! * `Option` → `null` or the value.
+//!
+//! Two deliberate deviations keep round-trips exact where serde_json is
+//! lossy:
+//!
+//! * non-finite floats serialize as the strings `"NaN"`, `"inf"` and
+//!   `"-inf"` (serde_json emits `null`, which does not round-trip);
+//! * finite floats use Rust's shortest round-trip formatting, and
+//!   integers never pass through `f64`, so `u64::MAX` survives.
+//!
+//! Output is deterministic: serializing the same value twice yields
+//! byte-identical text, which the experiments binary exploits to verify
+//! persisted reports (`--check` re-serializes the parsed file and compares
+//! bytes).
+
+use crate::{Deserialize, Deserializer, Error as SerdeError, Serialize, Serializer};
+use std::fmt;
+
+/// Error raised while writing or parsing JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset in the input at which the error occurred (parsing only).
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn at(msg: impl fmt::Display, offset: usize) -> Self {
+        Self {
+            msg: msg.to_string(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl SerdeError for Error {
+    fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+            offset: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum Frame {
+    Seq { first: bool },
+    Struct { first: bool },
+    Variant,
+}
+
+/// A [`Serializer`] writing JSON text into an owned `String`.
+pub struct JsonSerializer {
+    out: String,
+    stack: Vec<Frame>,
+    /// `None` = compact; `Some(n)` = pretty-print with `n`-space indent.
+    indent: Option<usize>,
+    depth: usize,
+}
+
+impl JsonSerializer {
+    /// Creates a compact serializer.
+    pub fn compact() -> Self {
+        Self {
+            out: String::new(),
+            stack: Vec::new(),
+            indent: None,
+            depth: 0,
+        }
+    }
+
+    /// Creates a pretty-printing serializer with two-space indentation.
+    pub fn pretty() -> Self {
+        Self {
+            out: String::new(),
+            stack: Vec::new(),
+            indent: Some(2),
+            depth: 0,
+        }
+    }
+
+    /// Consumes the serializer and returns the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced begin/end calls");
+        self.out
+    }
+
+    fn newline(&mut self) {
+        if let Some(width) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.depth * width {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    fn open(&mut self, bracket: char, frame: Frame) {
+        self.out.push(bracket);
+        self.depth += 1;
+        self.stack.push(frame);
+    }
+
+    fn close(&mut self, bracket: char, was_empty: bool) {
+        self.depth -= 1;
+        if !was_empty {
+            self.newline();
+        }
+        self.out.push(bracket);
+    }
+
+    fn element_separator(&mut self) -> Result<(), Error> {
+        match self.stack.last_mut() {
+            Some(Frame::Seq { first }) | Some(Frame::Struct { first }) => {
+                if *first {
+                    *first = false;
+                } else {
+                    self.out.push(',');
+                }
+                self.newline();
+                Ok(())
+            }
+            _ => Err(Error::custom("element outside a sequence or struct")),
+        }
+    }
+
+    fn write_escaped(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl Serializer for JsonSerializer {
+    type Error = Error;
+
+    fn write_null(&mut self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn write_bool(&mut self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn write_u64(&mut self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn write_i64(&mut self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn write_f64(&mut self, v: f64) -> Result<(), Error> {
+        if v.is_nan() {
+            self.out.push_str("\"NaN\"");
+        } else if v == f64::INFINITY {
+            self.out.push_str("\"inf\"");
+        } else if v == f64::NEG_INFINITY {
+            self.out.push_str("\"-inf\"");
+        } else {
+            // Rust's shortest-representation formatting parses back to the
+            // same bits; ensure a decimal point or exponent survives so the
+            // text stays recognisably a float.
+            let text = v.to_string();
+            self.out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        }
+        Ok(())
+    }
+
+    fn write_str(&mut self, v: &str) -> Result<(), Error> {
+        self.write_escaped(v);
+        Ok(())
+    }
+
+    fn seq_begin(&mut self, _len: Option<usize>) -> Result<(), Error> {
+        self.open('[', Frame::Seq { first: true });
+        Ok(())
+    }
+
+    fn seq_element(&mut self) -> Result<(), Error> {
+        self.element_separator()
+    }
+
+    fn seq_end(&mut self) -> Result<(), Error> {
+        match self.stack.pop() {
+            Some(Frame::Seq { first }) => {
+                self.close(']', first);
+                Ok(())
+            }
+            _ => Err(Error::custom("seq_end without matching seq_begin")),
+        }
+    }
+
+    fn struct_begin(&mut self, _name: &'static str) -> Result<(), Error> {
+        self.open('{', Frame::Struct { first: true });
+        Ok(())
+    }
+
+    fn struct_field(&mut self, key: &'static str) -> Result<(), Error> {
+        self.element_separator()?;
+        self.write_escaped(key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        Ok(())
+    }
+
+    fn struct_end(&mut self) -> Result<(), Error> {
+        match self.stack.pop() {
+            Some(Frame::Struct { first }) => {
+                self.close('}', first);
+                Ok(())
+            }
+            _ => Err(Error::custom("struct_end without matching struct_begin")),
+        }
+    }
+
+    fn unit_variant(&mut self, _name: &'static str, variant: &'static str) -> Result<(), Error> {
+        self.write_escaped(variant);
+        Ok(())
+    }
+
+    fn variant_begin(&mut self, _name: &'static str, variant: &'static str) -> Result<(), Error> {
+        self.open('{', Frame::Variant);
+        self.newline();
+        self.write_escaped(variant);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        Ok(())
+    }
+
+    fn variant_end(&mut self) -> Result<(), Error> {
+        match self.stack.pop() {
+            Some(Frame::Variant) => {
+                self.close('}', false);
+                Ok(())
+            }
+            _ => Err(Error::custom("variant_end without matching variant_begin")),
+        }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut s = JsonSerializer::compact();
+    value
+        .serialize(&mut s)
+        .expect("writing JSON to a string cannot fail");
+    s.finish()
+}
+
+/// Serializes `value` as indented, human-readable JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut s = JsonSerializer::pretty();
+    value
+        .serialize(&mut s)
+        .expect("writing JSON to a string cannot fail");
+    s.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+/// A [`Deserializer`] reading JSON text.
+pub struct JsonDeserializer<'de> {
+    input: &'de [u8],
+    pos: usize,
+    /// One "is this the first element?" flag per open `[` / `{`.
+    firsts: Vec<bool>,
+}
+
+impl<'de> JsonDeserializer<'de> {
+    /// Creates a deserializer over `input`.
+    pub fn new(input: &'de str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+            firsts: Vec::new(),
+        }
+    }
+
+    /// Verifies that only whitespace remains.
+    pub fn end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos < self.input.len() {
+            Err(Error::at("trailing characters after JSON value", self.pos))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(Error::at(
+                format!("expected `{}`, found `{}`", want as char, b as char),
+                self.pos,
+            )),
+            None => Err(Error::at(
+                format!("expected `{}`, found end of input", want as char),
+                self.pos,
+            )),
+        }
+    }
+
+    fn consume_keyword(&mut self, word: &str) -> Result<(), Error> {
+        if self.input[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    /// Reads the raw text of a JSON number token.
+    fn number_token(&mut self) -> Result<&'de str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.input.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.input.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::at("expected a number", start));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| Error::at("invalid UTF-8 in number", start))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .input
+                .get(self.pos)
+                .ok_or_else(|| Error::at("unterminated string", self.pos))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .input
+                        .get(self.pos)
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::at("invalid \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::at("invalid \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // reject them rather than decode garbage.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                Error::at("\\u escape is not a scalar value", self.pos)
+                            })?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::at(
+                                format!("unknown escape `\\{}`", other as char),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len =
+                        utf8_len(b).ok_or_else(|| Error::at("invalid UTF-8 in string", start))?;
+                    let bytes = self
+                        .input
+                        .get(start..start + len)
+                        .ok_or_else(|| Error::at("truncated UTF-8 in string", start))?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| Error::at("invalid UTF-8 in string", start))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    /// `seq_next`/`field_key` shared machinery: returns true if another
+    /// element follows before `close`, consuming commas, and pops the
+    /// `firsts` flag when the closing bracket is consumed.
+    fn next_in(&mut self, close: u8) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b) if b == close => {
+                self.pos += 1;
+                self.firsts.pop();
+                Ok(false)
+            }
+            Some(b',') => {
+                if self.firsts.last() == Some(&true) {
+                    return Err(Error::at("unexpected `,` before first element", self.pos));
+                }
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(_) => {
+                match self.firsts.last_mut() {
+                    Some(first) if *first => *first = false,
+                    _ => {
+                        return Err(Error::at("expected `,` between elements", self.pos));
+                    }
+                }
+                Ok(true)
+            }
+            None => Err(Error::at("unterminated sequence or object", self.pos)),
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first` (None for
+/// continuation or invalid lead bytes).
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+impl<'de> Deserializer<'de> for JsonDeserializer<'de> {
+    type Error = Error;
+
+    fn read_bool(&mut self) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b't') => {
+                self.consume_keyword("true")?;
+                Ok(true)
+            }
+            Some(b'f') => {
+                self.consume_keyword("false")?;
+                Ok(false)
+            }
+            _ => Err(Error::at("expected `true` or `false`", self.pos)),
+        }
+    }
+
+    fn read_u64(&mut self) -> Result<u64, Error> {
+        let start = self.pos;
+        let text = self.number_token()?;
+        text.parse::<u64>()
+            .map_err(|_| Error::at(format!("`{text}` is not an unsigned integer"), start))
+    }
+
+    fn read_i64(&mut self) -> Result<i64, Error> {
+        let start = self.pos;
+        let text = self.number_token()?;
+        text.parse::<i64>()
+            .map_err(|_| Error::at(format!("`{text}` is not an integer"), start))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, Error> {
+        // Non-finite floats round-trip as strings (see the module docs).
+        if self.peek() == Some(b'"') {
+            let s = self.parse_string()?;
+            return match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(Error::at(
+                    format!("string `{other}` is not a float"),
+                    self.pos,
+                )),
+            };
+        }
+        let start = self.pos;
+        let text = self.number_token()?;
+        text.parse::<f64>()
+            .map_err(|_| Error::at(format!("`{text}` is not a number"), start))
+    }
+
+    fn read_string(&mut self) -> Result<String, Error> {
+        self.parse_string()
+    }
+
+    fn read_null(&mut self) -> Result<bool, Error> {
+        if self.peek() == Some(b'n') {
+            self.consume_keyword("null")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn seq_begin(&mut self) -> Result<(), Error> {
+        self.expect_byte(b'[')?;
+        self.firsts.push(true);
+        Ok(())
+    }
+
+    fn seq_next(&mut self) -> Result<bool, Error> {
+        self.next_in(b']')
+    }
+
+    fn struct_begin(&mut self, _name: &'static str) -> Result<(), Error> {
+        self.expect_byte(b'{')?;
+        self.firsts.push(true);
+        Ok(())
+    }
+
+    fn field_key(&mut self) -> Result<Option<String>, Error> {
+        if !self.next_in(b'}')? {
+            return Ok(None);
+        }
+        let key = self.parse_string()?;
+        self.expect_byte(b':')?;
+        Ok(Some(key))
+    }
+
+    fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'n') => self.consume_keyword("null"),
+            Some(b't') => self.consume_keyword("true"),
+            Some(b'f') => self.consume_keyword("false"),
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b'[') => {
+                self.seq_begin()?;
+                while self.seq_next()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'{') => {
+                self.struct_begin("")?;
+                while self.field_key()?.is_some() {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(_) => self.number_token().map(|_| ()),
+            None => Err(Error::at("expected a value, found end of input", self.pos)),
+        }
+    }
+
+    fn variant_begin(
+        &mut self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<(String, bool), Error> {
+        match self.peek() {
+            // Unit variant: a bare string tag.
+            Some(b'"') => {
+                let tag = self.parse_string()?;
+                if !variants.contains(&tag.as_str()) {
+                    return Err(Error::unknown_variant(name, &tag));
+                }
+                Ok((tag, false))
+            }
+            // Payload variant: a single-key object {"Tag": payload}.
+            Some(b'{') => {
+                self.pos += 1;
+                let tag = self.parse_string()?;
+                if !variants.contains(&tag.as_str()) {
+                    return Err(Error::unknown_variant(name, &tag));
+                }
+                self.expect_byte(b':')?;
+                Ok((tag, true))
+            }
+            _ => Err(Error::at(
+                format!("expected enum `{name}` (string or single-key object)"),
+                self.pos,
+            )),
+        }
+    }
+
+    fn variant_end(&mut self, had_payload: bool) -> Result<(), Error> {
+        if had_payload {
+            self.expect_byte(b'}')?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a value of `T` from JSON text, requiring the whole input to be
+/// consumed.
+pub fn from_str<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let mut d = JsonDeserializer::new(input);
+    let value = T::deserialize(&mut d)?;
+    d.end()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(to_string(&"hi\n\"there\""), "\"hi\\n\\\"there\\\"\"");
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"hi\\u0041\"").unwrap(), "hiA");
+    }
+
+    #[test]
+    fn u64_does_not_pass_through_f64() {
+        let v = u64::MAX - 1;
+        assert_eq!(from_str::<u64>(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        assert_eq!(to_string(&f64::INFINITY), "\"inf\"");
+        assert_eq!(to_string(&f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(to_string(&f64::NAN), "\"NaN\"");
+        assert_eq!(from_str::<f64>("\"inf\"").unwrap(), f64::INFINITY);
+        assert_eq!(from_str::<f64>("\"-inf\"").unwrap(), f64::NEG_INFINITY);
+        assert!(from_str::<f64>("\"NaN\"").unwrap().is_nan());
+    }
+
+    #[test]
+    fn vectors_options_tuples_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>("[1,2,3]").unwrap(), v);
+        assert_eq!(from_str::<Vec<u32>>("[]").unwrap(), Vec::<u32>::new());
+
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+        assert_eq!(to_string(&Some(5u32)), "5");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("5").unwrap(), Some(5));
+
+        let t = (1u8, "x".to_string(), 2.5f64);
+        let json = to_string(&t);
+        assert_eq!(json, "[1,\"x\",2.5]");
+        assert_eq!(from_str::<(u8, String, f64)>(&json).unwrap(), t);
+
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(from_str::<[f64; 3]>(&to_string(&arr)).unwrap(), arr);
+        assert!(from_str::<[f64; 3]>("[1.0,2.0]").is_err());
+        assert!(from_str::<[f64; 3]>("[1.0,2.0,3.0,4.0]").is_err());
+    }
+
+    #[test]
+    fn duration_roundtrips() {
+        let d = std::time::Duration::new(12, 345_678_901);
+        let json = to_string(&d);
+        assert_eq!(json, "{\"secs\":12,\"nanos\":345678901}");
+        assert_eq!(from_str::<std::time::Duration>(&json).unwrap(), d);
+        // Hostile input whose nanos would carry into (and overflow) secs
+        // must error, not panic inside Duration::new.
+        let max = u64::MAX;
+        let overflow = format!("{{\"secs\":{max},\"nanos\":1000000000}}");
+        assert!(from_str::<std::time::Duration>(&overflow).is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_parseable_and_indented() {
+        let v = vec![vec![1u32], vec![2, 3]];
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("-3").is_err());
+        assert!(from_str::<u64>("1.5").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<Vec<u32>>("[1 2]").is_err());
+        assert!(from_str::<Vec<u32>>("[,1]").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+        assert!(from_str::<bool>("maybe").is_err());
+        assert!(from_str::<u64>("7 junk").is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let v = (vec![1u8, 2], Some(3.5f64), "s".to_string());
+        assert_eq!(to_string(&v), to_string(&v.clone()));
+        assert_eq!(to_string_pretty(&v), to_string_pretty(&v.clone()));
+    }
+}

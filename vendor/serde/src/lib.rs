@@ -1,16 +1,492 @@
-//! Offline shim for the slice of serde this workspace uses.
+//! Offline, minimal—but real—implementation of the slice of serde this
+//! workspace uses.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on config and report
-//! structs but never invokes a serializer in-tree, so the traits here are
-//! markers and the derives (re-exported from the vendored `serde_derive`)
-//! expand to nothing. Swap in the real serde when the build environment
-//! gains registry access.
+//! Unlike the original shim (whose traits were empty markers and whose
+//! derives expanded to nothing), this crate implements a genuine
+//! serialization data model:
+//!
+//! * [`Serialize`] / [`Deserialize`] drive values through the
+//!   [`Serializer`] / [`Deserializer`] traits field by field;
+//! * the derives (re-exported from the vendored `serde_derive`) emit real
+//!   per-field implementations for named structs, tuple structs and enums
+//!   with unit, tuple and struct variants;
+//! * [`json`] provides the single in-tree backend: a hand-rolled JSON
+//!   writer/parser with [`json::to_string`], [`json::to_string_pretty`] and
+//!   [`json::from_str`].
+//!
+//! The data model is a simplification of real serde's: serializers are
+//! driven through `&mut self` methods with explicit `begin`/`end` calls
+//! instead of by-value compound sub-serializers, and deserialization is
+//! direct (no visitors). The surface is exactly what the workspace needs:
+//! numeric primitives, `bool`, `String`, `Option`, `Vec`, slices, fixed
+//! arrays, tuples and `std::time::Duration`. Swap in the real serde when
+//! the build environment gains registry access.
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+use std::fmt::Display;
+use std::time::Duration;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+pub mod json;
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Errors produced by serializers and deserializers.
+///
+/// Mirrors serde's `ser::Error`/`de::Error`: the derive-generated code only
+/// needs a way to construct an error from a message.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Creates an error with an arbitrary message.
+    fn custom(msg: impl Display) -> Self;
+
+    /// A required struct field was absent from the input.
+    fn missing_field(ty: &'static str, field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    /// An enum tag did not name any known variant.
+    fn unknown_variant(ty: &'static str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` of enum `{ty}`"))
+    }
+
+    /// A variant payload was present/absent contrary to the definition.
+    fn invalid_variant_shape(ty: &'static str, variant: &str) -> Self {
+        Self::custom(format!(
+            "variant `{variant}` of enum `{ty}` has the wrong payload shape"
+        ))
+    }
+}
+
+/// A data format that can serialize the data model.
+///
+/// Compound values are driven through explicit `begin`/`end` calls: a
+/// sequence is `seq_begin`, then `seq_element` before each element, then
+/// `seq_end`; a struct is `struct_begin`, then `struct_field` before each
+/// field value, then `struct_end`; an enum variant with a payload wraps the
+/// payload in `variant_begin`/`variant_end`.
+pub trait Serializer {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Serializes a `null` / unit value.
+    fn write_null(&mut self) -> Result<(), Self::Error>;
+    /// Serializes a boolean.
+    fn write_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Serializes an unsigned integer (all unsigned widths funnel here).
+    fn write_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Serializes a signed integer (all signed widths funnel here).
+    fn write_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Serializes a floating-point number (`f32` widens losslessly).
+    fn write_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Serializes a string.
+    fn write_str(&mut self, v: &str) -> Result<(), Self::Error>;
+
+    /// Begins a sequence of `len` elements (`None` if unknown upfront).
+    fn seq_begin(&mut self, len: Option<usize>) -> Result<(), Self::Error>;
+    /// Announces the next sequence element (called before its value).
+    fn seq_element(&mut self) -> Result<(), Self::Error>;
+    /// Ends the current sequence.
+    fn seq_end(&mut self) -> Result<(), Self::Error>;
+
+    /// Begins a struct with the given type name.
+    fn struct_begin(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    /// Announces the next struct field (called before its value).
+    fn struct_field(&mut self, key: &'static str) -> Result<(), Self::Error>;
+    /// Ends the current struct.
+    fn struct_end(&mut self) -> Result<(), Self::Error>;
+
+    /// Serializes a data-less enum variant.
+    fn unit_variant(
+        &mut self,
+        name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Self::Error>;
+    /// Begins an enum variant carrying a payload; the payload value follows.
+    fn variant_begin(
+        &mut self,
+        name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Self::Error>;
+    /// Ends the current payload-carrying variant.
+    fn variant_end(&mut self) -> Result<(), Self::Error>;
+}
+
+/// A data structure that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error>;
+}
+
+/// A data format that can deserialize the data model.
+///
+/// The counterpart of [`Serializer`]: direct (visitor-free) pull-style
+/// decoding. Sequences are `seq_begin` followed by `seq_next` (which
+/// reports whether another element is available and consumes the sequence
+/// terminator when not); structs are `struct_begin` followed by
+/// `field_key` until it returns `None`.
+pub trait Deserializer<'de> {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Deserializes a boolean.
+    fn read_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Deserializes an unsigned integer.
+    fn read_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Deserializes a signed integer.
+    fn read_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Deserializes a floating-point number.
+    fn read_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Deserializes a string.
+    fn read_string(&mut self) -> Result<String, Self::Error>;
+    /// Consumes a `null` value if one is next; returns whether it did.
+    fn read_null(&mut self) -> Result<bool, Self::Error>;
+
+    /// Begins a sequence.
+    fn seq_begin(&mut self) -> Result<(), Self::Error>;
+    /// Returns true if another element follows (and positions the reader on
+    /// it); consumes the end of the sequence and returns false otherwise.
+    fn seq_next(&mut self) -> Result<bool, Self::Error>;
+
+    /// Begins a struct with the given type name.
+    fn struct_begin(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    /// Returns the next field key, or `None` at the end of the struct.
+    fn field_key(&mut self) -> Result<Option<String>, Self::Error>;
+    /// Skips one complete value (used for unknown fields).
+    fn skip_value(&mut self) -> Result<(), Self::Error>;
+
+    /// Begins an enum value: returns the variant tag and whether a payload
+    /// follows. `variants` lists the legal tags for error reporting.
+    fn variant_begin(
+        &mut self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<(String, bool), Self::Error>;
+    /// Ends an enum value started by [`Deserializer::variant_begin`].
+    fn variant_end(&mut self, had_payload: bool) -> Result<(), Self::Error>;
+}
+
+/// A data structure that can be deserialized from any [`Deserializer`].
+///
+/// The `'de` lifetime is kept for signature compatibility with real serde
+/// (`for<'de> Deserialize<'de>` bounds); this minimal implementation never
+/// borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.write_u64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+                let v = d.read_u64()?;
+                <$t>::try_from(v).map_err(|_| {
+                    <D::Error as Error>::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.write_i64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+                let v = d.read_i64()?;
+                <$t>::try_from(v).map_err(|_| {
+                    <D::Error as Error>::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_f64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(d.read_f64()? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_string()
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        let mut buf = [0u8; 4];
+        s.write_str(self.encode_utf8(&mut buf))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        let s = d.read_string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as Error>::custom(
+                "expected a single-character string",
+            )),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.write_null()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        if d.read_null()? {
+            Ok(())
+        } else {
+            Err(<D::Error as Error>::custom("expected null"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option / sequences / tuples
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        match self {
+            None => s.write_null(),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        if d.read_null()? {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(d)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.seq_begin(Some(self.len()))?;
+        for item in self {
+            s.seq_element()?;
+            item.serialize(s)?;
+        }
+        s.seq_end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        let mut out = Vec::new();
+        d.seq_begin()?;
+        while d.seq_next()? {
+            out.push(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        let mut out = Vec::with_capacity(N);
+        d.seq_begin()?;
+        while d.seq_next()? {
+            if out.len() == N {
+                return Err(<D::Error as Error>::custom(format!(
+                    "array of {N} elements has extra elements"
+                )));
+            }
+            out.push(T::deserialize(d)?);
+        }
+        out.try_into().map_err(|v: Vec<T>| {
+            <D::Error as Error>::custom(format!("expected {N} elements, got {}", v.len()))
+        })
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                let len = [$(stringify!($idx)),+].len();
+                s.seq_begin(Some(len))?;
+                $(
+                    s.seq_element()?;
+                    self.$idx.serialize(s)?;
+                )+
+                s.seq_end()
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+                d.seq_begin()?;
+                let value = ($(
+                    {
+                        if !d.seq_next()? {
+                            return Err(<D::Error as Error>::custom(
+                                concat!("tuple is missing element ", stringify!($idx)),
+                            ));
+                        }
+                        $t::deserialize(d)?
+                    },
+                )+);
+                if d.seq_next()? {
+                    return Err(<D::Error as Error>::custom("tuple has extra elements"));
+                }
+                Ok(value)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (T0.0),
+    (T0.0, T1.1),
+    (T0.0, T1.1, T2.2),
+    (T0.0, T1.1, T2.2, T3.3),
+}
+
+// ---------------------------------------------------------------------------
+// std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.struct_begin("Duration")?;
+        s.struct_field("secs")?;
+        s.write_u64(self.as_secs())?;
+        s.struct_field("nanos")?;
+        s.write_u64(self.subsec_nanos() as u64)?;
+        s.struct_end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        let mut secs: Option<u64> = None;
+        let mut nanos: Option<u32> = None;
+        d.struct_begin("Duration")?;
+        while let Some(key) = d.field_key()? {
+            match key.as_str() {
+                "secs" => secs = Some(u64::deserialize(d)?),
+                "nanos" => nanos = Some(u32::deserialize(d)?),
+                _ => d.skip_value()?,
+            }
+        }
+        match (secs, nanos) {
+            // The serializer always writes sub-second nanos; a larger value
+            // could make `Duration::new` carry into (and overflow) `secs`,
+            // which panics — reject it as malformed input instead.
+            (Some(_), Some(n)) if n >= 1_000_000_000 => Err(<D::Error as Error>::custom(format!(
+                "Duration nanos {n} exceed one second"
+            ))),
+            (Some(s), Some(n)) => Ok(Duration::new(s, n)),
+            (None, _) => Err(<D::Error as Error>::missing_field("Duration", "secs")),
+            (_, None) => Err(<D::Error as Error>::missing_field("Duration", "nanos")),
+        }
+    }
+}

@@ -1,20 +1,492 @@
-//! Offline no-op `Serialize`/`Deserialize` derives.
+//! Offline `Serialize`/`Deserialize` derives that emit real field-by-field
+//! implementations against the vendored `serde` data model.
 //!
-//! The workspace uses the serde derives purely as annotations today (no
-//! serializer is wired up in-tree and no code takes `T: Serialize` bounds),
-//! so the offline shim expands to nothing. If a future PR adds a real
-//! serialization backend, replace this vendored pair with the real serde.
+//! The build environment has no access to crates.io, so this macro cannot
+//! lean on `syn`/`quote`; instead it hand-parses the item declaration from
+//! the raw token stream (attributes and visibility are skipped, generics are
+//! rejected — no derived type in this workspace is generic) and assembles
+//! the generated impl as source text.
+//!
+//! Supported shapes, mirroring what the workspace derives on:
+//!
+//! * named-field structs (field-by-field object mapping),
+//! * tuple structs (arity 1 is transparent like serde's newtype structs,
+//!   higher arities map to sequences),
+//! * unit structs (`null`),
+//! * enums with unit, tuple and struct variants (externally tagged).
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for `serde_derive::Serialize`.
+/// Derives `serde::Serialize` with a genuine per-field implementation.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = format!("__s.struct_begin(\"{}\")?;\n", item.name);
+            for f in fields {
+                b.push_str(&format!(
+                    "__s.struct_field(\"{f}\")?;\n\
+                     ::serde::Serialize::serialize(&self.{f}, __s)?;\n"
+                ));
+            }
+            b.push_str("__s.struct_end()\n");
+            b
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __s)\n".to_string(),
+        Kind::TupleStruct(n) => {
+            let mut b = format!("__s.seq_begin(::std::option::Option::Some({n}))?;\n");
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "__s.seq_element()?;\n\
+                     ::serde::Serialize::serialize(&self.{i}, __s)?;\n"
+                ));
+            }
+            b.push_str("__s.seq_end()\n");
+            b
+        }
+        Kind::UnitStruct => "__s.write_null()\n".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __s.unit_variant(\"{name}\", \"{vname}\"),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__v0) => {{\n\
+                         __s.variant_begin(\"{name}\", \"{vname}\")?;\n\
+                         ::serde::Serialize::serialize(__v0, __s)?;\n\
+                         __s.variant_end()\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             __s.variant_begin(\"{name}\", \"{vname}\")?;\n\
+                             __s.seq_begin(::std::option::Option::Some({n}))?;\n",
+                            bindings.join(", ")
+                        );
+                        for b in &bindings {
+                            arm.push_str(&format!(
+                                "__s.seq_element()?;\n\
+                                 ::serde::Serialize::serialize({b}, __s)?;\n"
+                            ));
+                        }
+                        arm.push_str("__s.seq_end()?;\n__s.variant_end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             __s.variant_begin(\"{name}\", \"{vname}\")?;\n\
+                             __s.struct_begin(\"{vname}\")?;\n",
+                            bindings.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__s.struct_field(\"{f}\")?;\n\
+                                 ::serde::Serialize::serialize(__f_{f}, __s)?;\n"
+                            ));
+                        }
+                        arm.push_str("__s.struct_end()?;\n__s.variant_end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+         fn serialize<__S: ::serde::Serializer + ?Sized>(\n\
+         &self,\n\
+         __s: &mut __S,\n\
+         ) -> ::std::result::Result<(), __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n",
+        item.name
+    );
+    code.parse().expect("derived Serialize impl parses")
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
+/// Derives `serde::Deserialize` with a genuine per-field implementation.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_fields_deserializer(name, name, fields),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))\n")
+        }
+        Kind::TupleStruct(n) => {
+            let mut b = "__d.seq_begin()?;\n".to_string();
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "if !__d.seq_next()? {{\n\
+                     return ::std::result::Result::Err(<__D::Error as ::serde::Error>::custom(\
+                     \"tuple struct `{name}` is missing element {i}\"));\n}}\n\
+                     let __v{i} = ::serde::Deserialize::deserialize(__d)?;\n"
+                ));
+            }
+            let args: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+            b.push_str(&format!(
+                "if __d.seq_next()? {{\n\
+                 return ::std::result::Result::Err(<__D::Error as ::serde::Error>::custom(\
+                 \"tuple struct `{name}` has extra elements\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))\n",
+                args.join(", ")
+            ));
+            b
+        }
+        Kind::UnitStruct => format!(
+            "if __d.read_null()? {{\n\
+             ::std::result::Result::Ok({name})\n\
+             }} else {{\n\
+             ::std::result::Result::Err(<__D::Error as ::serde::Error>::custom(\
+             \"expected null for unit struct `{name}`\"))\n\
+             }}\n"
+        ),
+        Kind::Enum(variants) => {
+            let tags: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         if __payload {{\n\
+                         return ::std::result::Result::Err(\
+                         <__D::Error as ::serde::Error>::invalid_variant_shape(\"{name}\", \"{vname}\"));\n\
+                         }}\n\
+                         {name}::{vname}\n}}\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         if !__payload {{\n\
+                         return ::std::result::Result::Err(\
+                         <__D::Error as ::serde::Error>::invalid_variant_shape(\"{name}\", \"{vname}\"));\n\
+                         }}\n\
+                         {name}::{vname}(::serde::Deserialize::deserialize(__d)?)\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             if !__payload {{\n\
+                             return ::std::result::Result::Err(\
+                             <__D::Error as ::serde::Error>::invalid_variant_shape(\"{name}\", \"{vname}\"));\n\
+                             }}\n\
+                             __d.seq_begin()?;\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "if !__d.seq_next()? {{\n\
+                                 return ::std::result::Result::Err(<__D::Error as ::serde::Error>::custom(\
+                                 \"variant `{vname}` is missing element {i}\"));\n}}\n\
+                                 let __v{i} = ::serde::Deserialize::deserialize(__d)?;\n"
+                            ));
+                        }
+                        let args: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        arm.push_str(&format!(
+                            "if __d.seq_next()? {{\n\
+                             return ::std::result::Result::Err(<__D::Error as ::serde::Error>::custom(\
+                             \"variant `{vname}` has extra elements\"));\n}}\n\
+                             {name}::{vname}({})\n}}\n",
+                            args.join(", ")
+                        ));
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let constructor = format!("{name}::{vname}");
+                        let inner = named_fields_deserializer(&constructor, vname, fields);
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             if !__payload {{\n\
+                             return ::std::result::Result::Err(\
+                             <__D::Error as ::serde::Error>::invalid_variant_shape(\"{name}\", \"{vname}\"));\n\
+                             }}\n\
+                             (|| {{ {inner} }})()?\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = __d.variant_begin(\"{name}\", &[{}])?;\n\
+                 let __value = match __tag.as_str() {{\n\
+                 {arms}\
+                 __other => {{\n\
+                 return ::std::result::Result::Err(\
+                 <__D::Error as ::serde::Error>::unknown_variant(\"{name}\", __other));\n\
+                 }}\n\
+                 }};\n\
+                 __d.variant_end(__payload)?;\n\
+                 ::std::result::Result::Ok(__value)\n",
+                tags.join(", ")
+            )
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de> + ?Sized>(\n\
+         __d: &mut __D,\n\
+         ) -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    );
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+/// Generates the decode-into-slots loop shared by named structs and struct
+/// variants: parse an object, fill one `Option` slot per field, then build
+/// `constructor { field: value, .. }`, erroring on missing fields.
+///
+/// The generated block evaluates to
+/// `::std::result::Result::Ok(constructor { .. })` so it can be used both
+/// as a function body and (wrapped in a closure) as a match-arm expression.
+fn named_fields_deserializer(constructor: &str, ty_label: &str, fields: &[String]) -> String {
+    let mut b = format!("__d.struct_begin(\"{ty_label}\")?;\n");
+    for f in fields {
+        b.push_str(&format!(
+            "let mut __field_{f}: ::std::option::Option<_> = ::std::option::Option::None;\n"
+        ));
+    }
+    b.push_str(
+        "while let ::std::option::Option::Some(__key) = __d.field_key()? {\n\
+         match __key.as_str() {\n",
+    );
+    for f in fields {
+        b.push_str(&format!(
+            "\"{f}\" => {{\n\
+             __field_{f} = ::std::option::Option::Some(::serde::Deserialize::deserialize(__d)?);\n\
+             }}\n"
+        ));
+    }
+    b.push_str("_ => { __d.skip_value()?; }\n}\n}\n");
+    b.push_str(&format!("::std::result::Result::Ok({constructor} {{\n"));
+    for f in fields {
+        b.push_str(&format!(
+            "{f}: match __field_{f} {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => {{\n\
+             return ::std::result::Result::Err(\
+             <__D::Error as ::serde::Error>::missing_field(\"{ty_label}\", \"{f}\"));\n\
+             }}\n\
+             }},\n"
+        ));
+    }
+    b.push_str("})\n");
+    b
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing (no syn available: raw token-tree walk)
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported by the offline shim");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(&token_vec(g.stream()))),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(&token_vec(g.stream()))),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(&token_vec(g.stream()))),
+            },
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn token_vec(stream: TokenStream) -> Vec<TokenTree> {
+    stream.into_iter().collect()
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` sequences, returning the field names. Types are
+/// skipped by scanning to the next comma outside angle brackets (parenthese
+/// and brackets are opaque groups at the token-tree level, so only `<`/`>`
+/// depth needs tracking).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                // Saturate: a `>` that closes nothing is the tail of a
+                // `->` (fn-pointer / Fn-trait return type), not a generic
+                // closer.
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant: one per non-empty
+/// comma-separated segment outside angle brackets.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut fields = 0;
+    let mut segment_len = 0;
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_len > 0 {
+                    fields += 1;
+                }
+                segment_len = 0;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_len += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                // Saturate for the same reason as in `parse_named_fields`:
+                // the `>` of a `->` return-type arrow closes nothing.
+                angle_depth = angle_depth.saturating_sub(1);
+                segment_len += 1;
+            }
+            _ => segment_len += 1,
+        }
+    }
+    if segment_len > 0 {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&token_vec(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(&token_vec(g.stream())))
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive: explicit enum discriminants are not supported")
+            }
+            None => {}
+            other => panic!("serde derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
 }
