@@ -21,7 +21,10 @@
 //! renders them. Both exit non-zero on any write, parse or mismatch
 //! failure.
 
-use mcn_bench::{render_table, Experiment, ExperimentConfig, ExperimentTable};
+use mcn_bench::{
+    render_table, render_throughput_table, run_throughput, Experiment, ExperimentConfig,
+    ExperimentTable, ThroughputConfig, ThroughputTable, THROUGHPUT_ID,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -33,7 +36,9 @@ fn main() -> ExitCode {
     }
 
     let mut config = ExperimentConfig::default();
+    let mut throughput_config = ThroughputConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
+    let mut with_throughput = false;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut check_dir: Option<PathBuf> = None;
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "all" => run_all = true,
+            id if id == THROUGHPUT_ID => with_throughput = true,
             "--scale" => {
                 config.scale = expect_value(&args, &mut i, "--scale");
             }
@@ -53,6 +59,23 @@ fn main() -> ExitCode {
             }
             "--seed" => {
                 config.seed = expect_value(&args, &mut i, "--seed");
+            }
+            "--batch" => {
+                throughput_config.batch = expect_value(&args, &mut i, "--batch");
+            }
+            "--workers" => {
+                let list: String = expect_value(&args, &mut i, "--workers");
+                match parse_worker_list(&list) {
+                    Some(workers) => throughput_config.workers = workers,
+                    None => {
+                        eprintln!("--workers expects a comma-separated list, e.g. 1,2,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--read-latency-us" => {
+                throughput_config.read_latency_us =
+                    expect_value(&args, &mut i, "--read-latency-us");
             }
             "--out" => {
                 out_dir = Some(expect_value(&args, &mut i, "--out"));
@@ -73,19 +96,22 @@ fn main() -> ExitCode {
     }
     if run_all {
         selected = Experiment::all().to_vec();
+        with_throughput = true;
     }
-    if selected.is_empty() {
+    if selected.is_empty() && !with_throughput {
         eprintln!("nothing to run");
         print_usage();
         return ExitCode::from(2);
     }
+    throughput_config.scale = config.scale;
+    throughput_config.seed = config.seed;
 
     if out_dir.is_some() && check_dir.is_some() {
         eprintln!("--out and --check are mutually exclusive (write first, then check)");
         return ExitCode::from(2);
     }
     if let Some(dir) = check_dir {
-        return check_tables(&dir, &selected);
+        return check_tables(&dir, &selected, with_throughput);
     }
 
     if let Some(dir) = &out_dir {
@@ -118,18 +144,44 @@ fn main() -> ExitCode {
             }
         }
     }
+    if with_throughput {
+        let table = run_throughput(&throughput_config);
+        println!("{}", render_throughput_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_throughput_table(dir, &table) {
+                eprintln!("failed to persist table {THROUGHPUT_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
-/// Writes `table` to `DIR/<id>.json` and proves the write lossless by
-/// reading the file back and comparing the re-parsed table.
-fn persist_table(dir: &Path, table: &ExperimentTable) -> Result<(), String> {
-    let path = dir.join(format!("{}.json", table.id));
-    std::fs::write(&path, table.to_json()).map_err(|e| format!("write {}: {e}", path.display()))?;
+/// Parses a `--workers` list like `1,2,4` (every entry ≥ 1).
+fn parse_worker_list(list: &str) -> Option<Vec<usize>> {
+    let workers: Option<Vec<usize>> = list
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().ok().filter(|&w| w >= 1))
+        .collect();
+    workers.filter(|w| !w.is_empty())
+}
+
+/// Writes a report to `DIR/<id>.json` and proves the write lossless by
+/// reading the file back and comparing the re-parsed value. Shared by the
+/// figure tables and the throughput table, which only differ in their
+/// (de)serializers.
+fn persist_report<T: PartialEq>(
+    dir: &Path,
+    id: &str,
+    table: &T,
+    to_json: impl Fn(&T) -> String,
+    from_json: impl Fn(&str) -> Result<T, String>,
+) -> Result<(), String> {
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, to_json(table)).map_err(|e| format!("write {}: {e}", path.display()))?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("read back {}: {e}", path.display()))?;
-    let reparsed = ExperimentTable::from_json(&text)
-        .map_err(|e| format!("re-parse {}: {e}", path.display()))?;
+    let reparsed = from_json(&text).map_err(|e| format!("re-parse {}: {e}", path.display()))?;
     if &reparsed != table {
         return Err(format!(
             "round-trip mismatch: {} differs from the in-memory table",
@@ -140,47 +192,93 @@ fn persist_table(dir: &Path, table: &ExperimentTable) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads each selected table from `DIR/<id>.json`, verifies that the parsed
-/// value re-serializes to the identical bytes, and renders it.
-fn check_tables(dir: &Path, selected: &[Experiment]) -> ExitCode {
+/// Writes `table` to `DIR/<id>.json` with read-back verification.
+fn persist_table(dir: &Path, table: &ExperimentTable) -> Result<(), String> {
+    persist_report(
+        dir,
+        &table.id,
+        table,
+        ExperimentTable::to_json,
+        ExperimentTable::from_json,
+    )
+}
+
+/// Writes the throughput `table` to `DIR/throughput.json` with the same
+/// read-back verification as the figure tables.
+fn persist_throughput_table(dir: &Path, table: &ThroughputTable) -> Result<(), String> {
+    persist_report(
+        dir,
+        THROUGHPUT_ID,
+        table,
+        ThroughputTable::to_json,
+        ThroughputTable::from_json,
+    )
+}
+
+/// Loads `DIR/<id>.json`, verifying that the stored id matches and that
+/// re-serializing the parsed value reproduces the file byte-for-byte (the
+/// serializer is deterministic, so byte equality across processes proves a
+/// lossless round-trip).
+fn load_report<T>(
+    dir: &Path,
+    expected_id: &str,
+    to_json: impl Fn(&T) -> String,
+    from_json: impl Fn(&str) -> Result<T, String>,
+    id_of: impl Fn(&T) -> &str,
+) -> Result<T, String> {
+    let path = dir.join(format!("{expected_id}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let table = from_json(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    if id_of(&table) != expected_id {
+        return Err(format!(
+            "{} holds table `{}`, expected `{expected_id}`",
+            path.display(),
+            id_of(&table)
+        ));
+    }
+    if to_json(&table) != text {
+        return Err(format!(
+            "{}: re-serializing the parsed table does not reproduce the file",
+            path.display()
+        ));
+    }
+    Ok(table)
+}
+
+/// Loads each selected table from `DIR/<id>.json`, verifies the lossless
+/// round-trip and renders it.
+fn check_tables(dir: &Path, selected: &[Experiment], with_throughput: bool) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
-        let path = dir.join(format!("{}.json", experiment.id()));
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
+        match load_report(
+            dir,
+            experiment.id(),
+            ExperimentTable::to_json,
+            ExperimentTable::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_table(&table)),
             Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
+                eprintln!("{e}");
                 failures += 1;
-                continue;
             }
-        };
-        let table = match ExperimentTable::from_json(&text) {
-            Ok(t) => t,
+        }
+    }
+    if with_throughput {
+        match load_report(
+            dir,
+            THROUGHPUT_ID,
+            ThroughputTable::to_json,
+            ThroughputTable::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_throughput_table(&table)),
             Err(e) => {
-                eprintln!("cannot parse {}: {e}", path.display());
+                eprintln!("{e}");
                 failures += 1;
-                continue;
             }
-        };
-        if table.id != experiment.id() {
-            eprintln!(
-                "{} holds table `{}`, expected `{}`",
-                path.display(),
-                table.id,
-                experiment.id()
-            );
-            failures += 1;
-            continue;
         }
-        if table.to_json() != text {
-            eprintln!(
-                "{}: re-serializing the parsed table does not reproduce the file",
-                path.display()
-            );
-            failures += 1;
-            continue;
-        }
-        println!("{}", render_table(&table));
     }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
@@ -203,12 +301,16 @@ fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str
 fn print_usage() {
     eprintln!(
         "usage: experiments [all | <ids>...] [--scale N] [--queries N] [--latency-ms MS] [--seed S]\n\
-         \x20                [--out DIR] [--check DIR]\n\
-         experiment ids: {}\n\
-         --out DIR    run the experiments, persist each table to DIR/<id>.json and\n\
-         \x20            verify the written file re-parses to the in-memory table\n\
-         --check DIR  skip running; load DIR/<id>.json for each selected experiment,\n\
-         \x20            verify a lossless round-trip and render the stored tables",
+         \x20                [--batch N] [--workers LIST] [--out DIR] [--check DIR]\n\
+         experiment ids: {}, {THROUGHPUT_ID}\n\
+         --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
+         \x20              verify the written file re-parses to the in-memory table\n\
+         --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
+         \x20              verify a lossless round-trip and render the stored tables\n\
+         --batch N      number of queries in the {THROUGHPUT_ID} batch (default 32)\n\
+         --workers LIST worker counts swept by {THROUGHPUT_ID}, e.g. 1,2,4 (default)\n\
+         --read-latency-us N  blocking latency per physical read in the {THROUGHPUT_ID}\n\
+         \x20              experiment (default 50; 0 = RAM-speed reads)",
         Experiment::all()
             .iter()
             .map(|e| e.id())

@@ -24,7 +24,12 @@
 pub mod experiments;
 pub mod measure;
 pub mod report;
+pub mod throughput;
 
 pub use experiments::{all_experiments, Experiment, ExperimentConfig};
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
 pub use report::{render_table, ExperimentTable, Row};
+pub use throughput::{
+    build_request_batch, render_throughput_table, run_throughput, ThroughputConfig, ThroughputRow,
+    ThroughputTable, THROUGHPUT_ID,
+};

@@ -1,0 +1,346 @@
+//! The `throughput` experiment: multi-query QPS vs. worker count.
+//!
+//! This experiment goes beyond the paper's single-query evaluation: it pushes
+//! a fixed batch of mixed skyline/top-k queries through
+//! [`mcn_engine::QueryEngine`] at increasing worker counts over one shared
+//! store, and reports wall-clock QPS, the speedup over the serial run, and
+//! the aggregate I/O counters from the striped buffer pool.
+//!
+//! Two invariants are *asserted* on every run (not just reported):
+//!
+//! * every worker count produces byte-identical per-query results
+//!   (fingerprint comparison against the serial run), and
+//! * total logical page reads stay within 1 % of the serial run (they are in
+//!   fact exactly equal — logical reads are a pure function of the queries).
+
+use mcn_core::Algorithm;
+use mcn_engine::{QueryEngine, QueryRequest};
+use mcn_gen::{generate_workload, WorkloadSpec};
+use mcn_storage::{BufferConfig, DiskManager, InMemoryDisk, MCNStore};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of the throughput experiment in the `experiments` binary and
+/// its report file name (`<id>.json`).
+pub const THROUGHPUT_ID: &str = "throughput";
+
+/// Configuration of a throughput run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputConfig {
+    /// Scale-down divider applied to the paper's default workload.
+    pub scale: usize,
+    /// Number of queries in the batch.
+    pub batch: usize,
+    /// Worker counts to sweep (the first entry is the speedup baseline;
+    /// include 1 to compare against strictly serial execution).
+    pub workers: Vec<usize>,
+    /// Buffer size as a fraction of the store's data pages.
+    pub buffer: f64,
+    /// `k` used for the top-k members of the batch.
+    pub k: usize,
+    /// Simulated latency per physical page read, in microseconds. Non-zero
+    /// values make every physical read *block* for that long (see
+    /// [`InMemoryDisk::with_read_latency`]), turning the paper's charged I/O
+    /// model into measurable wall-clock time — which is what lets the worker
+    /// pool demonstrate QPS scaling by overlapping I/O waits, including on
+    /// machines with few cores.
+    pub read_latency_us: u64,
+    /// Master seed for the workload and the per-query weights.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            scale: 50,
+            batch: 32,
+            workers: vec![1, 2, 4],
+            buffer: 0.01,
+            k: 4,
+            read_latency_us: 50,
+            seed: 2010,
+        }
+    }
+}
+
+/// One row of the throughput table: the batch at one worker count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Worker count of this row.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Queries per second of wall-clock time.
+    pub qps: f64,
+    /// QPS relative to the first (baseline) row.
+    pub speedup: f64,
+    /// Total logical page requests over the batch.
+    pub logical_reads: u64,
+    /// Total physical page reads over the batch.
+    pub physical_reads: u64,
+    /// Aggregate buffer hit ratio over the batch.
+    pub hit_ratio: f64,
+}
+
+/// The persisted throughput report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputTable {
+    /// Always [`THROUGHPUT_ID`].
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The configuration that produced the rows.
+    pub config: ThroughputConfig,
+    /// Queries in the batch (mirrors `config.batch` after generation).
+    pub queries: usize,
+    /// One row per swept worker count.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl ThroughputTable {
+    /// Serializes the table as indented JSON (the `--out` report format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a table from its JSON report representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Builds the mixed request batch for a workload: round-robin over skyline /
+/// batch top-k / incremental top-k, alternating LSA and CEA, with seeded
+/// random weights. Deterministic in `config.seed`.
+pub fn build_request_batch(
+    spec: &WorkloadSpec,
+    queries: &[mcn_graph::NetworkLocation],
+    config: &ThroughputConfig,
+) -> Vec<QueryRequest> {
+    let d = spec.cost_types;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0051_C0DE);
+    queries
+        .iter()
+        .cycle()
+        .take(config.batch)
+        .enumerate()
+        .map(|(i, &location)| {
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let algorithm = if i % 2 == 0 {
+                Algorithm::Cea
+            } else {
+                Algorithm::Lsa
+            };
+            match i % 3 {
+                0 => QueryRequest::Skyline {
+                    location,
+                    algorithm,
+                },
+                1 => QueryRequest::TopK {
+                    location,
+                    weights,
+                    k: config.k,
+                    algorithm,
+                },
+                _ => QueryRequest::TopKIncremental {
+                    location,
+                    weights,
+                    take: config.k,
+                    algorithm,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Runs the throughput sweep described by `config`.
+///
+/// # Panics
+/// Panics if any worker count produces results differing from the baseline
+/// run, or if its total logical reads deviate by more than 1 % — either
+/// would mean the concurrent engine is not serially equivalent.
+pub fn run_throughput(config: &ThroughputConfig) -> ThroughputTable {
+    assert!(!config.workers.is_empty(), "no worker counts to sweep");
+    let mut spec = WorkloadSpec::paper_scaled(config.scale);
+    spec.seed = config.seed;
+    let workload = generate_workload(&spec);
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::with_read_latency(
+        Duration::from_micros(config.read_latency_us),
+    ));
+    let store = Arc::new(
+        MCNStore::build_on(&workload.graph, disk, BufferConfig::Fraction(config.buffer))
+            .expect("workload store builds"),
+    );
+    let requests = build_request_batch(&spec, &workload.queries, config);
+
+    let mut rows = Vec::with_capacity(config.workers.len());
+    let mut baseline: Option<(Vec<String>, u64, f64)> = None;
+    for &workers in &config.workers {
+        // Identical starting conditions for every worker count: empty cache,
+        // zeroed pool counters.
+        store.buffer().clear();
+        let engine = QueryEngine::new(store.clone(), workers);
+        let result = engine.run_batch(&requests);
+        let fingerprints: Vec<String> = result
+            .outcomes
+            .iter()
+            .map(|o| o.output.fingerprint())
+            .collect();
+        let logical = result.stats.io.logical_reads;
+        match &baseline {
+            None => baseline = Some((fingerprints, logical, result.stats.qps)),
+            Some((base_prints, base_logical, _)) => {
+                assert_eq!(
+                    base_prints, &fingerprints,
+                    "worker count {workers} changed query results"
+                );
+                let deviation =
+                    (logical as f64 - *base_logical as f64).abs() / (*base_logical as f64).max(1.0);
+                assert!(
+                    deviation <= 0.01,
+                    "worker count {workers}: logical reads {logical} deviate {:.3}% from \
+                     baseline {base_logical}",
+                    deviation * 100.0
+                );
+            }
+        }
+        let base_qps = baseline.as_ref().map(|b| b.2).unwrap_or(result.stats.qps);
+        rows.push(ThroughputRow {
+            workers,
+            wall_seconds: json_safe(result.stats.wall.as_secs_f64()),
+            qps: json_safe(result.stats.qps),
+            speedup: json_safe(if base_qps > 0.0 {
+                result.stats.qps / base_qps
+            } else {
+                1.0
+            }),
+            logical_reads: logical,
+            physical_reads: result.stats.io.physical_reads,
+            hit_ratio: json_safe(result.stats.io.hit_ratio()),
+        });
+    }
+
+    ThroughputTable {
+        id: THROUGHPUT_ID.to_string(),
+        title: format!(
+            "Multi-query throughput — {} mixed queries, shared store, striped buffer",
+            requests.len()
+        ),
+        config: config.clone(),
+        queries: requests.len(),
+        rows,
+    }
+}
+
+/// Clamps a measurement into the finite range so persisted reports contain
+/// no `inf`/`NaN`.
+fn json_safe(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(f64::MIN, f64::MAX)
+    }
+}
+
+/// Renders a throughput table in the same fixed-width style as the figure
+/// tables.
+pub fn render_throughput_table(table: &ThroughputTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} [{}]\n", table.title, table.id));
+    out.push_str(&format!(
+        "(batch of {} queries, buffer {:.1}%, scale 1/{}, {} µs per physical read)\n",
+        table.queries,
+        table.config.buffer * 100.0,
+        table.config.scale,
+        table.config.read_latency_us
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>9} {:>14} {:>14} {:>10}\n",
+        "workers", "wall(s)", "QPS", "speedup", "logical reads", "physical reads", "hit ratio"
+    ));
+    for r in &table.rows {
+        out.push_str(&format!(
+            "{:<10} {:>10.4} {:>10.1} {:>8.2}x {:>14} {:>14} {:>10.3}\n",
+            r.workers,
+            r.wall_seconds,
+            r.qps,
+            r.speedup,
+            r.logical_reads,
+            r.physical_reads,
+            r.hit_ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ThroughputConfig {
+        ThroughputConfig {
+            scale: 2000,
+            batch: 9,
+            workers: vec![1, 2],
+            read_latency_us: 0, // keep unit tests fast; the binary defaults to 50 µs
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn throughput_sweep_runs_and_is_consistent() {
+        let config = ThroughputConfig {
+            read_latency_us: 10, // exercise the blocking-read path
+            ..tiny_config()
+        };
+        let table = run_throughput(&config);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.queries, 9);
+        for row in &table.rows {
+            assert!(row.qps > 0.0);
+            assert!(row.logical_reads > 0);
+            assert!(row.physical_reads <= row.logical_reads);
+        }
+        // The in-run assertions already proved result equality; the rows
+        // must also show identical logical I/O.
+        assert_eq!(table.rows[0].logical_reads, table.rows[1].logical_reads);
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let table = run_throughput(&tiny_config());
+        let json = table.to_json();
+        let parsed = ThroughputTable::from_json(&json).unwrap();
+        assert_eq!(parsed, table);
+        // Deterministic serializer: re-serializing reproduces the bytes.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn request_batch_is_deterministic_and_mixed() {
+        let config = tiny_config();
+        let mut spec = WorkloadSpec::paper_scaled(config.scale);
+        spec.seed = config.seed;
+        let workload = generate_workload(&spec);
+        let a = build_request_batch(&spec, &workload.queries, &config);
+        let b = build_request_batch(&spec, &workload.queries, &config);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|r| r.kind() == "skyline"));
+        assert!(a.iter().any(|r| r.kind() == "topk"));
+        assert!(a.iter().any(|r| r.kind() == "topk-inc"));
+    }
+
+    #[test]
+    fn rendered_table_mentions_workers() {
+        let table = run_throughput(&tiny_config());
+        let text = render_throughput_table(&table);
+        assert!(text.contains("workers"));
+        assert!(text.contains("QPS"));
+    }
+}

@@ -53,7 +53,8 @@ pub(crate) mod test_support;
 pub use aggregate::{AggregateCost, WeightedSum};
 pub use candidate::{Candidate, CandidateSet};
 pub use skyline::{
-    baseline_skyline, skyline_query, Algorithm, SkylineFacility, SkylineResult, SkylineSearch,
+    baseline_skyline, parallel_lsa_skyline, skyline_query, Algorithm, SkylineFacility,
+    SkylineResult, SkylineSearch,
 };
 pub use stats::QueryStats;
 pub use topk::{baseline_topk, topk_query, TopKEntry, TopKIter, TopKResult};
@@ -62,7 +63,8 @@ pub use topk::{baseline_topk, topk_query, TopKEntry, TopKIter, TopKResult};
 pub mod prelude {
     pub use crate::aggregate::{AggregateCost, WeightedSum};
     pub use crate::skyline::{
-        baseline_skyline, skyline_query, Algorithm, SkylineFacility, SkylineResult, SkylineSearch,
+        baseline_skyline, parallel_lsa_skyline, skyline_query, Algorithm, SkylineFacility,
+        SkylineResult, SkylineSearch,
     };
     pub use crate::stats::QueryStats;
     pub use crate::topk::{baseline_topk, topk_query, TopKEntry, TopKIter, TopKResult};

@@ -20,11 +20,21 @@
 //!
 //! The search is **progressive**: [`SkylineSearch`] implements [`Iterator`]
 //! and yields every skyline facility the moment it is pinned.
+//!
+//! The search is also generic over an [`ExpansionDriver`]: with the default
+//! [`SerialDriver`] the `d` expansions are probed inline (the paper's
+//! behaviour), while [`SkylineSearch::lsa_parallel`] runs them on worker
+//! threads ([`ParallelDriver`]) and produces **byte-identical results** —
+//! the coordinator consumes the same per-expansion emission streams either
+//! way (see `mcn_expansion::driver` for the argument). CEA stays
+//! single-threaded per query: its point is to *share* fetched pages between
+//! the expansions, which a per-thread split would undo.
 
 use crate::candidate::CandidateSet;
 use crate::stats::QueryStats;
 use mcn_expansion::{
-    seeds_for_location, DirectAccess, Expansion, FacilityMode, NetworkAccess, SharedAccess,
+    seeds_for_location, DirectAccess, Expansion, ExpansionDriver, FacilityMode, NetworkAccess,
+    ParallelDriver, SerialDriver, SharedAccess,
 };
 use mcn_graph::{dominates_weak, CostVec, EdgeId, FacilityId, NetworkLocation};
 use mcn_storage::{IoStats, MCNStore};
@@ -76,14 +86,16 @@ enum Stage {
     Shrinking,
 }
 
-/// A progressive MCN skyline computation, generic over the access discipline.
+/// A progressive MCN skyline computation, generic over the access discipline
+/// and the expansion driver (inline by default, worker threads via
+/// [`SkylineSearch::lsa_parallel`]).
 ///
 /// Use [`skyline_query`] for the common case; instantiate this type directly
 /// (or via [`SkylineSearch::lsa`] / [`SkylineSearch::cea`]) when progressive
 /// output is needed.
-pub struct SkylineSearch<A: NetworkAccess> {
+pub struct SkylineSearch<A: NetworkAccess, D: ExpansionDriver = SerialDriver<A>> {
     access: Arc<A>,
-    expansions: Vec<Expansion<A>>,
+    driver: D,
     active: Vec<bool>,
     next_probe: usize,
     stage: Stage,
@@ -111,19 +123,75 @@ impl SkylineSearch<SharedAccess> {
     }
 }
 
+impl SkylineSearch<DirectAccess, ParallelDriver> {
+    /// Starts an LSA skyline computation whose `d` expansions run on worker
+    /// threads. Results (facilities, cost vectors, order) are byte-identical
+    /// to [`SkylineSearch::lsa`]; only the work/timing statistics may differ
+    /// because workers can run slightly ahead of the coordinator.
+    pub fn lsa_parallel(store: Arc<MCNStore>, location: NetworkLocation) -> Self {
+        Self::new_parallel(Arc::new(DirectAccess::new(store)), location, "LSA-par")
+    }
+}
+
+/// Builds the `d` seeded expansions shared by both constructors.
+fn make_expansions<A: NetworkAccess>(
+    access: &Arc<A>,
+    location: NetworkLocation,
+) -> Vec<Expansion<A>> {
+    let seeds = seeds_for_location(access.as_ref(), location);
+    (0..access.num_cost_types())
+        .map(|i| Expansion::new(access.clone(), i, &seeds, FacilityMode::All))
+        .collect()
+}
+
 impl<A: NetworkAccess> SkylineSearch<A> {
     /// Starts a skyline computation over an arbitrary access discipline.
     pub fn new(access: Arc<A>, location: NetworkLocation, algorithm: &'static str) -> Self {
-        let d = access.num_cost_types();
         let start_io = access.io_stats();
         let started = Instant::now();
-        let seeds = seeds_for_location(access.as_ref(), location);
-        let expansions: Vec<Expansion<A>> = (0..d)
-            .map(|i| Expansion::new(access.clone(), i, &seeds, FacilityMode::All))
-            .collect();
+        let expansions = make_expansions(&access, location);
+        Self::with_driver(
+            access,
+            SerialDriver::new(expansions),
+            algorithm,
+            start_io,
+            started,
+        )
+    }
+}
+
+impl<A: NetworkAccess + Send + Sync + 'static> SkylineSearch<A, ParallelDriver> {
+    /// Starts a skyline computation whose expansions run on worker threads.
+    pub fn new_parallel(
+        access: Arc<A>,
+        location: NetworkLocation,
+        algorithm: &'static str,
+    ) -> Self {
+        let start_io = access.io_stats();
+        let started = Instant::now();
+        let expansions = make_expansions(&access, location);
+        Self::with_driver(
+            access,
+            ParallelDriver::spawn(expansions),
+            algorithm,
+            start_io,
+            started,
+        )
+    }
+}
+
+impl<A: NetworkAccess, D: ExpansionDriver> SkylineSearch<A, D> {
+    fn with_driver(
+        access: Arc<A>,
+        driver: D,
+        algorithm: &'static str,
+        start_io: IoStats,
+        started: Instant,
+    ) -> Self {
+        let d = driver.d();
         Self {
             access,
-            expansions,
+            driver,
             active: vec![true; d],
             next_probe: 0,
             stage: Stage::Growing,
@@ -139,7 +207,7 @@ impl<A: NetworkAccess> SkylineSearch<A> {
     }
 
     fn d(&self) -> usize {
-        self.expansions.len()
+        self.active.len()
     }
 
     /// Switches the search to the shrinking stage: admission to the candidate
@@ -156,10 +224,8 @@ impl<A: NetworkAccess> SkylineSearch<A> {
                     .push((cand.facility, info.position));
             }
         }
-        let shared = Arc::new(by_edge);
-        for ex in &mut self.expansions {
-            ex.set_facility_mode(FacilityMode::CandidatesOnly(shared.clone()));
-        }
+        self.driver
+            .set_facility_mode(FacilityMode::CandidatesOnly(Arc::new(by_edge)));
     }
 
     /// Handles a pinned facility: emits it and prunes the candidate set.
@@ -243,11 +309,31 @@ impl<A: NetworkAccess> SkylineSearch<A> {
             && (self.candidates.is_empty() || self.candidates.all_know_cost(i))
         {
             self.active[i] = false;
+            self.driver.retire(i);
             return true;
         }
-        match self.expansions[i].next_nearest() {
+        // In the shrinking stage, facilities that are not (or no longer)
+        // candidates may still surface from the frontier — they were
+        // en-heaped during the growing stage, or by a parallel worker that
+        // ran ahead of the mode switch. Recording them would be a no-op, so
+        // they are skipped without consuming this probe turn; this keeps the
+        // per-turn candidate streams identical between the serial and
+        // parallel drivers.
+        let hit = loop {
+            match self.driver.next_nearest(i) {
+                None => break None,
+                Some((facility, cost)) => {
+                    if self.stage == Stage::Shrinking && !self.candidates.contains(facility) {
+                        continue;
+                    }
+                    break Some((facility, cost));
+                }
+            }
+        };
+        match hit {
             None => {
                 self.active[i] = false;
+                self.driver.retire(i);
             }
             Some((facility, cost)) => {
                 let admit = self.stage == Stage::Growing;
@@ -266,6 +352,13 @@ impl<A: NetworkAccess> SkylineSearch<A> {
     /// Runs the search to completion and returns the full result.
     pub fn into_result(mut self) -> SkylineResult {
         while self.step() {}
+        // Retire every expansion (the search can finish while some are still
+        // running, e.g. when the candidate set empties) so a parallel driver
+        // joins its workers and reports exact final counters.
+        for i in 0..self.d() {
+            self.active[i] = false;
+            self.driver.retire(i);
+        }
         // Drain anything still pending so `emitted` is the single source of
         // truth for the result.
         self.pending.clear();
@@ -277,23 +370,19 @@ impl<A: NetworkAccess> SkylineSearch<A> {
     }
 
     /// Execution statistics gathered so far.
+    ///
+    /// With the parallel driver the expansion work counters reflect what the
+    /// workers have *reported*; after the search finishes they are exact but
+    /// may exceed the serial counters (workers run slightly ahead).
     pub fn collect_stats(&self) -> QueryStats {
-        let mut nodes_settled = 0;
-        let mut heap_pushes = 0;
-        let mut heap_pops = 0;
-        for ex in &self.expansions {
-            let s = ex.stats();
-            nodes_settled += s.nodes_settled;
-            heap_pushes += s.heap_pushes;
-            heap_pops += s.heap_pops;
-        }
+        let s = self.driver.stats_total();
         QueryStats {
             algorithm: self.algorithm.to_string(),
             elapsed: self.started.elapsed(),
             io: self.access.io_stats() - self.start_io,
-            nodes_settled,
-            heap_pushes,
-            heap_pops,
+            nodes_settled: s.nodes_settled,
+            heap_pushes: s.heap_pushes,
+            heap_pops: s.heap_pops,
             candidates: self.candidates.admitted(),
             pinned: self.emitted.len(),
             dominance_checks: self.dominance_checks,
@@ -302,7 +391,7 @@ impl<A: NetworkAccess> SkylineSearch<A> {
     }
 }
 
-impl<A: NetworkAccess> Iterator for SkylineSearch<A> {
+impl<A: NetworkAccess, D: ExpansionDriver> Iterator for SkylineSearch<A, D> {
     type Item = SkylineFacility;
 
     /// Yields the next skyline facility as soon as it is pinned (progressive
@@ -329,6 +418,16 @@ pub fn skyline_query(
         Algorithm::Lsa => SkylineSearch::lsa(store.clone(), location).into_result(),
         Algorithm::Cea => SkylineSearch::cea(store.clone(), location).into_result(),
     }
+}
+
+/// Computes the complete skyline of `location` with LSA's access discipline,
+/// running the `d` per-cost-type expansions on worker threads.
+///
+/// The result (facilities, cost vectors, emission order) is identical to
+/// `skyline_query(store, location, Algorithm::Lsa)`; the parallelism
+/// overlaps the expansions' page fetches and heap work across cores.
+pub fn parallel_lsa_skyline(store: &Arc<MCNStore>, location: NetworkLocation) -> SkylineResult {
+    SkylineSearch::lsa_parallel(store.clone(), location).into_result()
 }
 
 /// The straightforward baseline of Section IV: run `d` complete network
@@ -396,6 +495,13 @@ mod tests {
     use crate::test_support::{paper_figure1_store, random_store, skyline_oracle};
     use mcn_graph::NodeId;
     use mcn_storage::BufferConfig;
+
+    /// Compile-time thread-safety contract: searches must be movable onto
+    /// `QueryEngine` worker threads at every driver/access combination.
+    const fn assert_send<T: Send>() {}
+    const _: () = assert_send::<SkylineSearch<DirectAccess>>();
+    const _: () = assert_send::<SkylineSearch<SharedAccess>>();
+    const _: () = assert_send::<SkylineSearch<DirectAccess, ParallelDriver>>();
 
     fn result_set(r: &SkylineResult) -> Vec<(FacilityId, Vec<u64>)> {
         let mut v: Vec<(FacilityId, Vec<u64>)> = r
@@ -538,6 +644,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_lsa_matches_serial_lsa_exactly() {
+        // The tentpole determinism guarantee: the threaded LSA mode must
+        // reproduce the serial result bit for bit — same facilities, same
+        // cost bits, same emission order — across varied networks.
+        for seed in 0..8 {
+            let (store, _, q) = random_store(seed, 180, 110, 70, 3);
+            let store = Arc::new(store);
+            let serial = skyline_query(&store, q, Algorithm::Lsa);
+            let parallel = parallel_lsa_skyline(&store, q);
+            assert_eq!(
+                serial.facilities, parallel.facilities,
+                "parallel LSA diverged from serial LSA, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_lsa_progressive_iterator_matches_batch() {
+        let (store, _, q) = random_store(17, 150, 90, 60, 4);
+        let store = Arc::new(store);
+        let batch = parallel_lsa_skyline(&store, q);
+        let streamed: Vec<SkylineFacility> =
+            SkylineSearch::lsa_parallel(store.clone(), q).collect();
+        assert_eq!(batch.facilities, streamed);
+    }
+
+    #[test]
+    fn parallel_lsa_handles_directed_unreachable_parts() {
+        // Exercises the resolve_leftovers path (exhausted expansions with
+        // candidates remaining) under the parallel driver.
+        let mut b = mcn_graph::GraphBuilder::new(2);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let d = b.add_node(2.0, 0.0);
+        let e0 = b
+            .add_directed_edge(a, c, mcn_graph::CostVec::from_slice(&[1.0, 2.0]))
+            .unwrap();
+        let e1 = b
+            .add_edge(c, d, mcn_graph::CostVec::from_slice(&[1.0, 2.0]))
+            .unwrap();
+        b.add_facility(e0, 0.5).unwrap();
+        b.add_facility(e1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let store =
+            Arc::new(mcn_storage::MCNStore::build_in_memory(&g, BufferConfig::Pages(8)).unwrap());
+        let q = NetworkLocation::Node(c);
+        let serial = skyline_query(&store, q, Algorithm::Lsa);
+        let parallel = parallel_lsa_skyline(&store, q);
+        assert_eq!(serial.facilities, parallel.facilities);
     }
 
     #[test]

@@ -597,6 +597,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
+    /// Compile-time thread-safety contract: incremental iterations must be
+    /// movable onto `QueryEngine` worker threads.
+    const fn assert_send<T: Send>() {}
+    const _: () = assert_send::<TopKIter<DirectAccess, WeightedSum>>();
+    const _: () = assert_send::<TopKIter<SharedAccess, WeightedSum>>();
+
     fn scores(r: &TopKResult) -> Vec<f64> {
         r.entries.iter().map(|e| e.score).collect()
     }

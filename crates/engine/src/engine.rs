@@ -1,0 +1,278 @@
+//! The bounded worker pool scheduling a batch of queries.
+
+use crate::request::{QueryOutcome, QueryRequest};
+use mcn_storage::{IoStats, MCNStore};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregate statistics of one executed batch.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time from submission to the last completion.
+    pub wall: Duration,
+    /// Queries per second of wall-clock time.
+    pub qps: f64,
+    /// Store-wide I/O delta over the whole batch, taken from consistent
+    /// before/after snapshots of the striped buffer pool (so
+    /// `logical_reads == buffer_hits + buffer_misses` holds exactly).
+    pub io: IoStats,
+}
+
+/// A batch of outcomes plus its aggregate statistics. `outcomes[i]` belongs
+/// to `requests[i]` regardless of which worker executed it.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-query outcomes, in request order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+/// A multi-query scheduler: a fixed-size pool of worker threads draining a
+/// batch of [`QueryRequest`]s against one shared [`MCNStore`].
+///
+/// Workers claim requests FIFO through an atomic cursor; each query runs the
+/// ordinary single-query algorithm on the claiming worker's thread, so
+/// results are identical to serial execution (`workers == 1`) at any pool
+/// size — only throughput changes.
+pub struct QueryEngine {
+    store: Arc<MCNStore>,
+    workers: usize,
+}
+
+impl QueryEngine {
+    /// Creates an engine over `store` with `workers` threads (clamped to at
+    /// least one).
+    pub fn new(store: Arc<MCNStore>, workers: usize) -> Self {
+        Self {
+            store,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<MCNStore> {
+        &self.store
+    }
+
+    /// Size of the worker pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes one request on the calling thread (no pool involved).
+    pub fn run_one(&self, request: &QueryRequest) -> QueryOutcome {
+        request.execute(&self.store)
+    }
+
+    /// Executes `requests` across the worker pool and returns the outcomes
+    /// in request order together with aggregate throughput statistics.
+    ///
+    /// Blocks until the whole batch has completed. With `workers == 1` this
+    /// is plain serial execution on one spawned thread; larger pools only
+    /// change scheduling, never results.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResult {
+        let n = requests.len();
+        let io_before = self.store.io_stats();
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            // Never spawn more workers than there are queries.
+            for _ in 0..self.workers.min(n.max(1)) {
+                let cursor = &cursor;
+                let slots = &slots;
+                let store = &self.store;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = requests[i].execute(store);
+                    *slots[i].lock() = Some(outcome);
+                });
+            }
+        });
+
+        let wall = started.elapsed();
+        let io = self.store.io_stats() - io_before;
+        let outcomes: Vec<QueryOutcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every request slot is filled before the scope ends")
+            })
+            .collect();
+        let qps = if wall.as_secs_f64() > 0.0 {
+            n as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        BatchResult {
+            outcomes,
+            stats: BatchStats {
+                queries: n,
+                workers: self.workers,
+                wall,
+                qps,
+                io,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryOutput;
+    use mcn_core::Algorithm;
+    use mcn_gen::{generate_workload, WorkloadSpec};
+    use mcn_storage::BufferConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (Arc<MCNStore>, Vec<QueryRequest>) {
+        let workload = generate_workload(&WorkloadSpec::tiny(11));
+        let d = workload.spec.cost_types;
+        let store = Arc::new(
+            MCNStore::build_in_memory(&workload.graph, BufferConfig::Fraction(0.01)).unwrap(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let requests: Vec<QueryRequest> = workload
+            .queries
+            .iter()
+            .cycle()
+            .take(12)
+            .enumerate()
+            .map(|(i, &location)| {
+                let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+                let algorithm = if i % 2 == 0 {
+                    Algorithm::Cea
+                } else {
+                    Algorithm::Lsa
+                };
+                match i % 3 {
+                    0 => QueryRequest::Skyline {
+                        location,
+                        algorithm,
+                    },
+                    1 => QueryRequest::TopK {
+                        location,
+                        weights,
+                        k: 4,
+                        algorithm,
+                    },
+                    _ => QueryRequest::TopKIncremental {
+                        location,
+                        weights,
+                        take: 3,
+                        algorithm,
+                    },
+                }
+            })
+            .collect();
+        (store, requests)
+    }
+
+    fn fingerprints(result: &BatchResult) -> Vec<String> {
+        result
+            .outcomes
+            .iter()
+            .map(|o| o.output.fingerprint())
+            .collect()
+    }
+
+    #[test]
+    fn four_workers_match_serial_byte_for_byte() {
+        let (store, requests) = fixture();
+        let serial = QueryEngine::new(store.clone(), 1).run_batch(&requests);
+        let concurrent = QueryEngine::new(store.clone(), 4).run_batch(&requests);
+        assert_eq!(fingerprints(&serial), fingerprints(&concurrent));
+        // Logical reads are a pure function of the queries, independent of
+        // scheduling and buffer state.
+        assert_eq!(
+            serial.stats.io.logical_reads,
+            concurrent.stats.io.logical_reads
+        );
+    }
+
+    #[test]
+    fn batch_stats_are_populated_and_consistent() {
+        let (store, requests) = fixture();
+        let result = QueryEngine::new(store, 3).run_batch(&requests);
+        assert_eq!(result.stats.queries, requests.len());
+        assert_eq!(result.stats.workers, 3);
+        assert!(result.stats.qps > 0.0);
+        assert!(result.stats.io.logical_reads > 0);
+        assert_eq!(
+            result.stats.io.logical_reads,
+            result.stats.io.buffer_hits + result.stats.io.buffer_misses
+        );
+        for outcome in &result.outcomes {
+            assert!(!outcome.output.is_empty());
+            assert!(outcome.stats.nodes_settled > 0);
+        }
+    }
+
+    #[test]
+    fn outcomes_follow_request_order() {
+        let (store, requests) = fixture();
+        let result = QueryEngine::new(store.clone(), 4).run_batch(&requests);
+        for (req, outcome) in requests.iter().zip(&result.outcomes) {
+            match (req, &outcome.output) {
+                (QueryRequest::Skyline { .. }, QueryOutput::Skyline(_)) => {}
+                (QueryRequest::TopK { k, .. }, QueryOutput::TopK(entries)) => {
+                    assert!(entries.len() <= *k);
+                }
+                (QueryRequest::TopKIncremental { take, .. }, QueryOutput::TopK(entries)) => {
+                    assert!(entries.len() <= *take);
+                }
+                other => panic!("request/outcome kind mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_topk_matches_batch_topk_prefix() {
+        let (store, _) = fixture();
+        let location = mcn_graph::NetworkLocation::Node(mcn_graph::NodeId::new(5));
+        let weights = vec![0.5, 0.3, 0.2];
+        let engine = QueryEngine::new(store, 2);
+        let batch = engine.run_one(&QueryRequest::TopK {
+            location,
+            weights: weights.clone(),
+            k: 5,
+            algorithm: Algorithm::Cea,
+        });
+        let incremental = engine.run_one(&QueryRequest::TopKIncremental {
+            location,
+            weights,
+            take: 5,
+            algorithm: Algorithm::Cea,
+        });
+        assert_eq!(batch.output.fingerprint(), incremental.output.fingerprint());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_and_empty_batch_is_fine() {
+        let (store, _) = fixture();
+        let engine = QueryEngine::new(store, 0);
+        assert_eq!(engine.workers(), 1);
+        let result = engine.run_batch(&[]);
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.stats.queries, 0);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        const _: () = assert_send_sync::<QueryEngine>();
+    }
+}

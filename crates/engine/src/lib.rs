@@ -1,0 +1,39 @@
+//! # mcn-engine
+//!
+//! A **concurrent multi-query execution engine** over a shared, read-only
+//! [`MCNStore`](mcn_storage::MCNStore).
+//!
+//! The paper evaluates one query at a time; a production service faces many
+//! skyline/top-k queries in flight against one network. Everything below the
+//! engine is already built for that: the store is immutable once built, the
+//! buffer pool is lock-striped ([`mcn_storage::BufferPool`]), and the
+//! expansion/core layers are `Send` over `Arc<MCNStore>`. The engine adds the
+//! missing scheduling layer:
+//!
+//! * [`QueryRequest`] — a skyline, batch top-k, or incremental top-k query,
+//!   self-contained and cheap to clone.
+//! * [`QueryEngine`] — a bounded pool of worker threads draining a batch of
+//!   requests FIFO; each query runs the ordinary single-query algorithm, so
+//!   per-query results are **identical** to serial execution no matter how
+//!   many workers race over the shared buffer pool.
+//! * [`QueryOutcome`] / [`BatchStats`] — per-query statistics plus aggregate
+//!   throughput (QPS, consistent I/O deltas from the striped pool).
+//!
+//! # Determinism
+//!
+//! Query *results* depend only on the store contents, never on buffer state
+//! or scheduling, so `run_batch` returns outcome `i` for request `i` with
+//! byte-identical output at any worker count ([`QueryOutput::fingerprint`]
+//! makes that checkable). Statistics are the exception: per-query `stats.io`
+//! is a store-wide counter delta, which overlapping queries pollute — it is
+//! only meaningful at `workers == 1`. Use [`BatchStats::io`] (a consistent
+//! before/after snapshot pair) for aggregate accounting at any worker count.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod request;
+
+pub use engine::{BatchResult, BatchStats, QueryEngine};
+pub use request::{QueryOutcome, QueryOutput, QueryRequest};

@@ -1,0 +1,181 @@
+//! Query requests and their outcomes.
+
+use mcn_core::{
+    skyline_query, topk_query, Algorithm, QueryStats, SkylineFacility, TopKEntry, TopKIter,
+    WeightedSum,
+};
+use mcn_graph::NetworkLocation;
+use mcn_storage::MCNStore;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One self-contained preference query, ready to be scheduled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryRequest {
+    /// A complete MCN skyline query.
+    Skyline {
+        /// The query location.
+        location: NetworkLocation,
+        /// LSA or CEA.
+        algorithm: Algorithm,
+    },
+    /// A batch top-k query with a weighted-sum aggregate.
+    TopK {
+        /// The query location.
+        location: NetworkLocation,
+        /// Weighted-sum coefficients; the length must equal the store's `d`.
+        weights: Vec<f64>,
+        /// Number of results.
+        k: usize,
+        /// LSA or CEA.
+        algorithm: Algorithm,
+    },
+    /// An incremental top-k query: drive a [`TopKIter`] for the first `take`
+    /// results without fixing `k` up front.
+    TopKIncremental {
+        /// The query location.
+        location: NetworkLocation,
+        /// Weighted-sum coefficients; the length must equal the store's `d`.
+        weights: Vec<f64>,
+        /// How many results to draw from the iterator.
+        take: usize,
+        /// LSA or CEA.
+        algorithm: Algorithm,
+    },
+}
+
+impl QueryRequest {
+    /// Short kind label for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryRequest::Skyline { .. } => "skyline",
+            QueryRequest::TopK { .. } => "topk",
+            QueryRequest::TopKIncremental { .. } => "topk-inc",
+        }
+    }
+
+    /// Executes the request against `store` on the calling thread.
+    pub fn execute(&self, store: &Arc<MCNStore>) -> QueryOutcome {
+        let started = Instant::now();
+        let (output, stats) = match self {
+            QueryRequest::Skyline {
+                location,
+                algorithm,
+            } => {
+                let r = skyline_query(store, *location, *algorithm);
+                (QueryOutput::Skyline(r.facilities), r.stats)
+            }
+            QueryRequest::TopK {
+                location,
+                weights,
+                k,
+                algorithm,
+            } => {
+                let r = topk_query(
+                    store,
+                    *location,
+                    WeightedSum::new(weights.clone()),
+                    *k,
+                    *algorithm,
+                );
+                (QueryOutput::TopK(r.entries), r.stats)
+            }
+            QueryRequest::TopKIncremental {
+                location,
+                weights,
+                take,
+                algorithm,
+            } => {
+                let aggregate = WeightedSum::new(weights.clone());
+                match algorithm {
+                    Algorithm::Lsa => {
+                        let mut it = TopKIter::lsa(store.clone(), *location, aggregate);
+                        let entries: Vec<TopKEntry> = it.by_ref().take(*take).collect();
+                        let stats = it.stats();
+                        (QueryOutput::TopK(entries), stats)
+                    }
+                    Algorithm::Cea => {
+                        let mut it = TopKIter::cea(store.clone(), *location, aggregate);
+                        let entries: Vec<TopKEntry> = it.by_ref().take(*take).collect();
+                        let stats = it.stats();
+                        (QueryOutput::TopK(entries), stats)
+                    }
+                }
+            }
+        };
+        QueryOutcome {
+            output,
+            stats,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// The payload a query produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// Skyline facilities in pinning order.
+    Skyline(Vec<SkylineFacility>),
+    /// Top-k entries in ascending aggregate-cost order.
+    TopK(Vec<TopKEntry>),
+}
+
+impl QueryOutput {
+    /// Number of result members.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Skyline(v) => v.len(),
+            QueryOutput::TopK(v) => v.len(),
+        }
+    }
+
+    /// True iff the query returned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A canonical, bit-exact textual form of the result: facility ids with
+    /// the raw IEEE-754 bits of every cost. Two outputs are byte-identical
+    /// results iff their fingerprints are equal — the determinism check used
+    /// by the concurrency tests and the throughput bench.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        match self {
+            QueryOutput::Skyline(v) => {
+                out.push_str("skyline:");
+                for f in v {
+                    let _ = write!(out, "{}@", f.facility.raw());
+                    for c in f.costs.iter() {
+                        let _ = write!(out, "{:016x},", c.to_bits());
+                    }
+                    out.push(';');
+                }
+            }
+            QueryOutput::TopK(v) => {
+                out.push_str("topk:");
+                for e in v {
+                    let _ = write!(out, "{}@{:016x}@", e.facility.raw(), e.score.to_bits());
+                    for c in e.costs.iter() {
+                        let _ = write!(out, "{:016x},", c.to_bits());
+                    }
+                    out.push(';');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The result of one scheduled query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// What the query returned.
+    pub output: QueryOutput,
+    /// Single-query execution statistics. `stats.io` is a store-wide counter
+    /// delta and is polluted by overlapping queries — meaningful only when
+    /// the engine runs one worker (see the crate docs).
+    pub stats: QueryStats,
+    /// Wall-clock time from scheduling on a worker to completion.
+    pub wall: Duration,
+}

@@ -1,0 +1,463 @@
+//! Drivers: how a query's `d` per-cost-type expansions are advanced.
+//!
+//! The paper's LSA/CEA coordinators probe their `d` expansions round-robin
+//! and never inspect expansion internals beyond "give me your next nearest
+//! facility". That boundary is captured by [`ExpansionDriver`], with two
+//! implementations:
+//!
+//! * [`SerialDriver`] — the classic single-threaded behaviour: each probe
+//!   calls [`Expansion::next_nearest`] inline.
+//! * [`ParallelDriver`] — one worker thread per expansion, pipelined through
+//!   a small bounded channel: while the coordinator processes expansion `i`'s
+//!   emission, expansions `j ≠ i` are already computing their next one.
+//!
+//! # Determinism
+//!
+//! The parallel driver delivers, for every expansion, *exactly* the emission
+//! sequence the serial driver would deliver. An expansion is a self-contained
+//! Dijkstra state machine: its emissions depend only on its own progress and
+//! on the facility-mode switch broadcast when a query enters its shrinking
+//! stage. The mode switch reaches workers asynchronously (they may run a few
+//! emissions ahead under the old mode), but that can only add *non-candidate*
+//! facilities to a worker's frontier — never change the key or relative order
+//! of candidate facilities, because candidate en-heap events carry the same
+//! `(distance, position)` data under either mode and pops happen in global
+//! key order. Coordinators that filter non-candidates at consumption time
+//! (as `SkylineSearch` does in its shrinking stage) therefore observe
+//! identical streams from both drivers, and parallel results are
+//! byte-identical to serial ones.
+
+use crate::access::NetworkAccess;
+use crate::expansion::{Expansion, ExpansionStats, FacilityMode};
+use mcn_graph::FacilityId;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// How many emissions a parallel worker may run ahead of the coordinator.
+/// Small on purpose: deep pipelines buy no extra parallelism (the coordinator
+/// consumes round-robin) but delay the facility-mode switch, wasting I/O on
+/// facilities the shrinking stage no longer needs.
+const PIPELINE_DEPTH: usize = 1;
+
+/// Advances the `d` expansions of one query, hiding whether they run inline
+/// or on worker threads.
+pub trait ExpansionDriver {
+    /// Number of expansions driven.
+    fn d(&self) -> usize;
+
+    /// The next nearest facility of expansion `i`, or `None` once that
+    /// expansion is exhausted.
+    fn next_nearest(&mut self, i: usize) -> Option<(FacilityId, f64)>;
+
+    /// Broadcasts a facility-mode change to every expansion (the growing →
+    /// shrinking transition).
+    fn set_facility_mode(&mut self, mode: FacilityMode);
+
+    /// Declares that expansion `i` will never be probed again (early-stop),
+    /// letting the driver release its resources.
+    fn retire(&mut self, i: usize);
+
+    /// Aggregate work counters over all expansions. Exact for the serial
+    /// driver; for the parallel driver it reflects work *reported* so far
+    /// (retired/exhausted workers are exact, live workers may have unreported
+    /// in-flight work).
+    fn stats_total(&self) -> ExpansionStats;
+}
+
+fn sum_stats(iter: impl Iterator<Item = ExpansionStats>) -> ExpansionStats {
+    let mut total = ExpansionStats::default();
+    for s in iter {
+        total.nodes_settled += s.nodes_settled;
+        total.heap_pushes += s.heap_pushes;
+        total.heap_pops += s.heap_pops;
+        total.facilities_emitted += s.facilities_emitted;
+    }
+    total
+}
+
+/// Inline driver: probes call straight into the owned expansions.
+pub struct SerialDriver<A: NetworkAccess> {
+    expansions: Vec<Expansion<A>>,
+}
+
+impl<A: NetworkAccess> SerialDriver<A> {
+    /// Wraps the given expansions.
+    pub fn new(expansions: Vec<Expansion<A>>) -> Self {
+        Self { expansions }
+    }
+}
+
+impl<A: NetworkAccess> ExpansionDriver for SerialDriver<A> {
+    fn d(&self) -> usize {
+        self.expansions.len()
+    }
+
+    fn next_nearest(&mut self, i: usize) -> Option<(FacilityId, f64)> {
+        self.expansions[i].next_nearest()
+    }
+
+    fn set_facility_mode(&mut self, mode: FacilityMode) {
+        for ex in &mut self.expansions {
+            ex.set_facility_mode(mode.clone());
+        }
+    }
+
+    fn retire(&mut self, _i: usize) {}
+
+    fn stats_total(&self) -> ExpansionStats {
+        sum_stats(self.expansions.iter().map(|ex| ex.stats()))
+    }
+}
+
+/// Control messages sent from the coordinator to a worker.
+enum Ctrl {
+    SetMode(FacilityMode),
+    Stop,
+}
+
+/// One emission from a worker: the facility hit (`None` = exhausted) plus the
+/// worker's counters as of this emission, so the coordinator always has
+/// fresh statistics without extra synchronisation.
+struct Emission {
+    hit: Option<(FacilityId, f64)>,
+    stats: ExpansionStats,
+}
+
+struct Worker {
+    data: Option<Receiver<Emission>>,
+    ctrl: Sender<Ctrl>,
+    handle: Option<JoinHandle<ExpansionStats>>,
+    stats: ExpansionStats,
+    exhausted: bool,
+}
+
+impl Worker {
+    /// Signals the worker to stop, unblocks it and collects its final
+    /// counters. Idempotent. A panic on the worker thread is re-raised here
+    /// (matching serial behaviour, where the same panic would reach the
+    /// caller directly) — unless this thread is already unwinding, in which
+    /// case the payload is dropped to avoid a double-panic abort.
+    fn shut_down(&mut self) {
+        let _ = self.ctrl.send(Ctrl::Stop);
+        // Dropping the receiver wakes a worker blocked on its bounded send.
+        self.data = None;
+        if let Some(handle) = self.handle.take() {
+            match handle.join() {
+                Ok(final_stats) => self.stats = final_stats,
+                Err(payload) => {
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Threaded driver: each expansion runs on its own worker thread and streams
+/// emissions through a bounded channel (pipeline depth [`PIPELINE_DEPTH`]).
+///
+/// Dropping the driver stops and joins every worker; no threads outlive it.
+pub struct ParallelDriver {
+    workers: Vec<Worker>,
+}
+
+impl ParallelDriver {
+    /// Moves each expansion onto its own worker thread.
+    pub fn spawn<A>(expansions: Vec<Expansion<A>>) -> Self
+    where
+        A: NetworkAccess + Send + Sync + 'static,
+    {
+        let workers = expansions
+            .into_iter()
+            .map(|mut ex| {
+                let (data_tx, data_rx) = sync_channel::<Emission>(PIPELINE_DEPTH);
+                let (ctrl_tx, ctrl_rx) = channel::<Ctrl>();
+                let handle = std::thread::spawn(move || {
+                    loop {
+                        // Apply every pending control message before
+                        // computing the next emission.
+                        loop {
+                            match ctrl_rx.try_recv() {
+                                Ok(Ctrl::SetMode(mode)) => ex.set_facility_mode(mode),
+                                Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => {
+                                    return ex.stats()
+                                }
+                                Err(TryRecvError::Empty) => break,
+                            }
+                        }
+                        let hit = ex.next_nearest();
+                        let last = hit.is_none();
+                        let emission = Emission {
+                            hit,
+                            stats: ex.stats(),
+                        };
+                        // A send error means the coordinator retired us.
+                        if data_tx.send(emission).is_err() || last {
+                            return ex.stats();
+                        }
+                    }
+                });
+                Worker {
+                    data: Some(data_rx),
+                    ctrl: ctrl_tx,
+                    handle: Some(handle),
+                    stats: ExpansionStats::default(),
+                    exhausted: false,
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+}
+
+impl ExpansionDriver for ParallelDriver {
+    fn d(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn next_nearest(&mut self, i: usize) -> Option<(FacilityId, f64)> {
+        let worker = &mut self.workers[i];
+        if worker.exhausted {
+            return None;
+        }
+        let Some(data) = worker.data.as_ref() else {
+            return None;
+        };
+        match data.recv() {
+            Ok(Emission { hit, stats }) => {
+                worker.stats = stats;
+                if hit.is_none() {
+                    worker.exhausted = true;
+                    worker.shut_down();
+                }
+                hit
+            }
+            Err(_) => {
+                // The worker panicked or exited; treat it as exhausted.
+                worker.exhausted = true;
+                worker.shut_down();
+                None
+            }
+        }
+    }
+
+    fn set_facility_mode(&mut self, mode: FacilityMode) {
+        for worker in &mut self.workers {
+            if !worker.exhausted {
+                let _ = worker.ctrl.send(Ctrl::SetMode(mode.clone()));
+            }
+        }
+    }
+
+    fn retire(&mut self, i: usize) {
+        let worker = &mut self.workers[i];
+        // Drain anything the worker already computed so its last reported
+        // counters are as fresh as possible, then stop and join it.
+        if let Some(data) = worker.data.as_ref() {
+            while let Ok(emission) = data.try_recv() {
+                worker.stats = emission.stats;
+            }
+        }
+        worker.exhausted = true;
+        worker.shut_down();
+    }
+
+    fn stats_total(&self) -> ExpansionStats {
+        sum_stats(self.workers.iter().map(|w| w.stats))
+    }
+}
+
+impl Drop for ParallelDriver {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            worker.shut_down();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::DirectAccess;
+    use crate::seeds::seeds_for_location;
+    use mcn_graph::{CostVec, GraphBuilder, NetworkLocation, NodeId};
+    use mcn_storage::{BufferConfig, MCNStore};
+    use std::sync::Arc;
+
+    /// Compile-time thread-safety contract: expansions must be movable onto
+    /// worker threads, and both drivers must be `Send` so searches embedding
+    /// them are too.
+    const fn assert_send<T: Send>() {}
+    const _: () = assert_send::<Expansion<DirectAccess>>();
+    const _: () = assert_send::<Expansion<crate::access::SharedAccess>>();
+    const _: () = assert_send::<SerialDriver<DirectAccess>>();
+    const _: () = assert_send::<ParallelDriver>();
+
+    /// Grid-ish line network with facilities on every other edge.
+    fn store(d: usize) -> Arc<MCNStore> {
+        let mut b = GraphBuilder::new(d);
+        let n: Vec<_> = (0..20).map(|i| b.add_node(i as f64, 0.0)).collect();
+        for (i, w) in n.windows(2).enumerate() {
+            let costs: Vec<f64> = (0..d).map(|j| 1.0 + ((i + j) % 5) as f64).collect();
+            let e = b.add_edge(w[0], w[1], CostVec::from_slice(&costs)).unwrap();
+            if i % 2 == 0 {
+                b.add_facility(e, 0.25).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        Arc::new(MCNStore::build_in_memory(&g, BufferConfig::Pages(16)).unwrap())
+    }
+
+    fn make_expansions(store: &Arc<MCNStore>, d: usize) -> Vec<Expansion<DirectAccess>> {
+        let access = Arc::new(DirectAccess::new(store.clone()));
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        (0..d)
+            .map(|i| Expansion::new(access.clone(), i, &seeds, FacilityMode::All))
+            .collect()
+    }
+
+    fn drain<D: ExpansionDriver>(driver: &mut D, i: usize) -> Vec<(FacilityId, u64)> {
+        let mut out = Vec::new();
+        while let Some((f, c)) = driver.next_nearest(i) {
+            out.push((f, c.to_bits()));
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_driver_streams_match_serial() {
+        let d = 3;
+        let store = store(d);
+        let mut serial = SerialDriver::new(make_expansions(&store, d));
+        let mut parallel = ParallelDriver::spawn(make_expansions(&store, d));
+        assert_eq!(serial.d(), d);
+        assert_eq!(parallel.d(), d);
+        for i in 0..d {
+            assert_eq!(drain(&mut serial, i), drain(&mut parallel, i), "cost {i}");
+        }
+        // Exhausted expansions keep returning None.
+        assert_eq!(parallel.next_nearest(0), None);
+        assert_eq!(serial.next_nearest(0), None);
+    }
+
+    #[test]
+    fn retire_stops_workers_without_deadlock() {
+        let d = 2;
+        let store = store(d);
+        let mut parallel = ParallelDriver::spawn(make_expansions(&store, d));
+        let first = parallel.next_nearest(0);
+        assert!(first.is_some());
+        parallel.retire(0);
+        assert_eq!(parallel.next_nearest(0), None);
+        // The other worker is unaffected.
+        assert!(parallel.next_nearest(1).is_some());
+        // Dropping with a live worker joins it cleanly (no hang = pass).
+    }
+
+    #[test]
+    fn stats_totals_are_reported() {
+        let d = 2;
+        let store = store(d);
+        let mut serial = SerialDriver::new(make_expansions(&store, d));
+        let mut parallel = ParallelDriver::spawn(make_expansions(&store, d));
+        for i in 0..d {
+            drain(&mut serial, i);
+            drain(&mut parallel, i);
+        }
+        let s = serial.stats_total();
+        let p = parallel.stats_total();
+        // Both drivers ran their expansions to exhaustion, so the totals
+        // agree exactly.
+        assert_eq!(s.facilities_emitted, p.facilities_emitted);
+        assert_eq!(s.nodes_settled, p.nodes_settled);
+        assert!(s.facilities_emitted > 0);
+    }
+
+    /// Access layer that panics after a fixed number of adjacency reads,
+    /// standing in for a storage failure on a worker thread.
+    struct PanickyAccess {
+        inner: DirectAccess,
+        reads_left: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::access::NetworkAccess for PanickyAccess {
+        fn num_cost_types(&self) -> usize {
+            self.inner.num_cost_types()
+        }
+        fn adjacency(&self, node: NodeId) -> std::sync::Arc<mcn_storage::AdjacencyList> {
+            if self
+                .reads_left
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed)
+                == 0
+            {
+                panic!("simulated storage failure");
+            }
+            self.inner.adjacency(node)
+        }
+        fn facilities_in_run(
+            &self,
+            run: &mcn_storage::FacilityRun,
+        ) -> std::sync::Arc<Vec<(FacilityId, f64)>> {
+            self.inner.facilities_in_run(run)
+        }
+        fn facility_info(&self, f: FacilityId) -> Option<mcn_storage::store::FacilityInfo> {
+            self.inner.facility_info(f)
+        }
+        fn edge_endpoints(
+            &self,
+            e: mcn_graph::EdgeId,
+        ) -> Option<mcn_storage::store::EdgeEndpoints> {
+            self.inner.edge_endpoints(e)
+        }
+        fn io_stats(&self) -> mcn_storage::IoStats {
+            self.inner.io_stats()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated storage failure")]
+    fn worker_panics_propagate_to_the_coordinator() {
+        let store = store(2);
+        let access = Arc::new(PanickyAccess {
+            inner: DirectAccess::new(store),
+            reads_left: std::sync::atomic::AtomicUsize::new(5),
+        });
+        let seeds = seeds_for_location(access.as_ref(), NetworkLocation::Node(NodeId::new(0)));
+        let expansions = vec![
+            Expansion::new(access.clone(), 0, &seeds, FacilityMode::All),
+            Expansion::new(access, 1, &seeds, FacilityMode::All),
+        ];
+        let mut parallel = ParallelDriver::spawn(expansions);
+        // Draining must surface the worker's panic instead of reporting a
+        // silently truncated stream.
+        for i in 0..2 {
+            while parallel.next_nearest(i).is_some() {}
+        }
+    }
+
+    #[test]
+    fn mode_change_reaches_workers() {
+        let d = 2;
+        let store = store(d);
+        let total = drain(&mut SerialDriver::new(make_expansions(&store, d)), 0).len();
+        assert!(total >= 5, "fixture must have several facilities");
+        let mut parallel = ParallelDriver::spawn(make_expansions(&store, d));
+        // Switching to Ignore mid-stream stops *new* facilities from being
+        // en-heaped. The worker may deliver a few stragglers — emissions
+        // pipelined before the switch was applied, plus facilities already
+        // in its frontier — but the bounded pipeline keeps it from running
+        // far ahead, so it can never produce the full facility set.
+        let first = parallel.next_nearest(0);
+        assert!(first.is_some());
+        parallel.set_facility_mode(FacilityMode::Ignore);
+        let mut after = 0;
+        while parallel.next_nearest(0).is_some() {
+            after += 1;
+        }
+        assert!(
+            after + 1 < total,
+            "mode switch was never applied: all {total} facilities emitted"
+        );
+    }
+}

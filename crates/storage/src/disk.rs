@@ -46,20 +46,39 @@ pub trait DiskManager: Send + Sync {
 }
 
 /// An in-memory disk manager with physical-transfer accounting.
+///
+/// An optional **simulated read latency** turns the paper's *charged* I/O
+/// model into real blocking time: every physical read sleeps for the
+/// configured duration. The throughput experiment uses this to measure how
+/// the multi-query engine overlaps I/O waits — with zero latency (the
+/// default) reads are as fast as RAM and nothing sleeps.
 pub struct InMemoryDisk {
     pages: RwLock<Vec<Page>>,
+    read_latency: std::time::Duration,
     reads: AtomicU64,
     writes: AtomicU64,
 }
 
 impl InMemoryDisk {
-    /// Creates an empty in-memory disk.
+    /// Creates an empty in-memory disk with no simulated latency.
     pub fn new() -> Self {
+        Self::with_read_latency(std::time::Duration::ZERO)
+    }
+
+    /// Creates an empty in-memory disk whose physical reads each block for
+    /// `latency`.
+    pub fn with_read_latency(latency: std::time::Duration) -> Self {
         Self {
             pages: RwLock::new(Vec::new()),
+            read_latency: latency,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
+    }
+
+    /// The simulated per-read latency.
+    pub fn read_latency(&self) -> std::time::Duration {
+        self.read_latency
     }
 }
 
@@ -71,6 +90,10 @@ impl Default for InMemoryDisk {
 
 impl DiskManager for InMemoryDisk {
     fn read_page(&self, id: PageId, out: &mut Page) {
+        if !self.read_latency.is_zero() {
+            // Simulate the seek outside any lock so concurrent reads overlap.
+            std::thread::sleep(self.read_latency);
+        }
         let pages = self.pages.read();
         let page = pages
             .get(id.index())

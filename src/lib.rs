@@ -14,6 +14,8 @@
 //!   facility search) over the paged store.
 //! * [`core`] — the paper's contribution: LSA and CEA skyline algorithms,
 //!   the baseline, and batch/incremental top-k processing.
+//! * [`engine`] — the concurrent multi-query engine: a bounded worker pool
+//!   scheduling batches of skyline/top-k queries over one shared store.
 //! * [`skyline`] — classic main-memory skyline algorithms (BNL, SFS, D&C).
 //! * [`topk`] — the threshold-algorithm family (TA / NRA) over sorted lists.
 //! * [`mcpp`] — multi-criteria Pareto (skyline) path computation.
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub use mcn_core as core;
+pub use mcn_engine as engine;
 pub use mcn_expansion as expansion;
 pub use mcn_gen as gen;
 pub use mcn_graph as graph;
