@@ -22,8 +22,10 @@
 //! failure.
 
 use mcn_bench::{
-    render_table, render_throughput_table, run_throughput, Experiment, ExperimentConfig,
-    ExperimentTable, ThroughputConfig, ThroughputTable, THROUGHPUT_ID,
+    compare_gate, dimacs_workload, render_partition_table, render_table, render_throughput_table,
+    run_gate, run_partition, run_partition_on, run_throughput, Experiment, ExperimentConfig,
+    ExperimentTable, GateBaseline, GateConfig, PartitionConfig, PartitionTable, ThroughputConfig,
+    ThroughputTable, GATE_TOLERANCE, PARTITION_ID, THROUGHPUT_ID,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,11 +36,17 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::SUCCESS;
     }
+    if args[0] == "gate" {
+        return run_gate_command(&args[1..]);
+    }
 
     let mut config = ExperimentConfig::default();
     let mut throughput_config = ThroughputConfig::default();
+    let mut partition_config = PartitionConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut with_throughput = false;
+    let mut with_partition = false;
+    let mut dimacs: Option<String> = None;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut check_dir: Option<PathBuf> = None;
@@ -47,8 +55,31 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "all" => run_all = true,
             id if id == THROUGHPUT_ID => with_throughput = true,
+            id if id == PARTITION_ID => with_partition = true,
+            "--regions" => {
+                let list: String = expect_value(&args, &mut i, "--regions");
+                match parse_worker_list(&list) {
+                    Some(regions) => partition_config.regions = regions,
+                    None => {
+                        eprintln!("--regions expects a comma-separated list, e.g. 1,2,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--partition-workers" => {
+                partition_config.workers = expect_value(&args, &mut i, "--partition-workers");
+            }
+            "--dimacs" => {
+                dimacs = Some(expect_value(&args, &mut i, "--dimacs"));
+            }
+            "--buffer" => {
+                let fraction: f64 = expect_value(&args, &mut i, "--buffer");
+                throughput_config.buffer = fraction;
+                partition_config.buffer = fraction;
+            }
             "--scale" => {
                 config.scale = expect_value(&args, &mut i, "--scale");
+                partition_config.scale = config.scale;
             }
             "--queries" => {
                 config.queries = Some(expect_value(&args, &mut i, "--queries"));
@@ -62,6 +93,7 @@ fn main() -> ExitCode {
             }
             "--batch" => {
                 throughput_config.batch = expect_value(&args, &mut i, "--batch");
+                partition_config.batch = throughput_config.batch;
             }
             "--workers" => {
                 let list: String = expect_value(&args, &mut i, "--workers");
@@ -76,6 +108,7 @@ fn main() -> ExitCode {
             "--read-latency-us" => {
                 throughput_config.read_latency_us =
                     expect_value(&args, &mut i, "--read-latency-us");
+                partition_config.read_latency_us = throughput_config.read_latency_us;
             }
             "--out" => {
                 out_dir = Some(expect_value(&args, &mut i, "--out"));
@@ -97,21 +130,28 @@ fn main() -> ExitCode {
     if run_all {
         selected = Experiment::all().to_vec();
         with_throughput = true;
+        with_partition = true;
     }
-    if selected.is_empty() && !with_throughput {
+    if selected.is_empty() && !with_throughput && !with_partition {
         eprintln!("nothing to run");
         print_usage();
         return ExitCode::from(2);
     }
     throughput_config.scale = config.scale;
     throughput_config.seed = config.seed;
+    // The partition experiment keeps its own (smaller) default scale — see
+    // `PartitionConfig::default` — unless --scale is given explicitly.
+    partition_config.seed = config.seed;
+    if let Some(path) = &dimacs {
+        partition_config.source = path.clone();
+    }
 
     if out_dir.is_some() && check_dir.is_some() {
         eprintln!("--out and --check are mutually exclusive (write first, then check)");
         return ExitCode::from(2);
     }
     if let Some(dir) = check_dir {
-        return check_tables(&dir, &selected, with_throughput);
+        return check_tables(&dir, &selected, with_throughput, with_partition);
     }
 
     if let Some(dir) = &out_dir {
@@ -154,7 +194,94 @@ fn main() -> ExitCode {
             }
         }
     }
+    if with_partition {
+        let table = match &dimacs {
+            Some(path) => match dimacs_workload(path, &partition_config) {
+                Ok(workload) => run_partition_on(&partition_config, &workload),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => run_partition(&partition_config),
+        };
+        println!("{}", render_partition_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_partition_table(dir, &table) {
+                eprintln!("failed to persist table {PARTITION_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// `experiments gate --baseline FILE [--update]`: re-measure the
+/// deterministic mean logical reads of every figure point and fail on a
+/// > 2 % regression against the checked-in baseline (`--update` rewrites
+/// the baseline instead).
+fn run_gate_command(args: &[String]) -> ExitCode {
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => baseline_path = Some(expect_value(args, &mut i, "--baseline")),
+            "--update" => update = true,
+            other => {
+                eprintln!("unknown gate flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = baseline_path else {
+        eprintln!("gate requires --baseline FILE");
+        return ExitCode::from(2);
+    };
+    let current = run_gate(&GateConfig::default());
+    if update {
+        if let Err(e) = std::fs::write(&path, current.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote gate baseline {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "cannot read {} (create it with `experiments gate --baseline {} --update`): {e}",
+                path.display(),
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match GateBaseline::from_json(&text) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = compare_gate(&current, &baseline, GATE_TOLERANCE);
+    if violations.is_empty() {
+        let points: usize = current.tables.iter().map(|t| t.points.len()).sum();
+        println!(
+            "gate passed: {points} figure points within {:.0}% of {}",
+            GATE_TOLERANCE * 100.0,
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("gate: {violation}");
+        }
+        eprintln!("{} gate violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
 }
 
 /// Parses a `--workers` list like `1,2,4` (every entry ≥ 1).
@@ -215,6 +342,18 @@ fn persist_throughput_table(dir: &Path, table: &ThroughputTable) -> Result<(), S
     )
 }
 
+/// Writes the partition `table` to `DIR/partition.json` with the same
+/// read-back verification as the figure tables.
+fn persist_partition_table(dir: &Path, table: &PartitionTable) -> Result<(), String> {
+    persist_report(
+        dir,
+        PARTITION_ID,
+        table,
+        PartitionTable::to_json,
+        PartitionTable::from_json,
+    )
+}
+
 /// Loads `DIR/<id>.json`, verifying that the stored id matches and that
 /// re-serializing the parsed value reproduces the file byte-for-byte (the
 /// serializer is deterministic, so byte equality across processes proves a
@@ -248,7 +387,12 @@ fn load_report<T>(
 
 /// Loads each selected table from `DIR/<id>.json`, verifies the lossless
 /// round-trip and renders it.
-fn check_tables(dir: &Path, selected: &[Experiment], with_throughput: bool) -> ExitCode {
+fn check_tables(
+    dir: &Path,
+    selected: &[Experiment],
+    with_throughput: bool,
+    with_partition: bool,
+) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
         match load_report(
@@ -280,6 +424,21 @@ fn check_tables(dir: &Path, selected: &[Experiment], with_throughput: bool) -> E
             }
         }
     }
+    if with_partition {
+        match load_report(
+            dir,
+            PARTITION_ID,
+            PartitionTable::to_json,
+            PartitionTable::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_partition_table(&table)),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
         ExitCode::FAILURE
@@ -302,19 +461,32 @@ fn print_usage() {
     eprintln!(
         "usage: experiments [all | <ids>...] [--scale N] [--queries N] [--latency-ms MS] [--seed S]\n\
          \x20                [--batch N] [--workers LIST] [--out DIR] [--check DIR]\n\
-         experiment ids: {}, {THROUGHPUT_ID}\n\
+         \x20                [--regions LIST] [--partition-workers N] [--dimacs PATH]\n\
+         \x20      experiments gate --baseline FILE [--update]\n\
+         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}\n\
          --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
          \x20              verify the written file re-parses to the in-memory table\n\
          --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
          \x20              verify a lossless round-trip and render the stored tables\n\
-         --batch N      number of queries in the {THROUGHPUT_ID} batch (default 32)\n\
+         --batch N      number of queries in the {THROUGHPUT_ID}/{PARTITION_ID} batches\n\
          --workers LIST worker counts swept by {THROUGHPUT_ID}, e.g. 1,2,4 (default)\n\
-         --read-latency-us N  blocking latency per physical read in the {THROUGHPUT_ID}\n\
-         \x20              experiment (default 50; 0 = RAM-speed reads)",
+         --read-latency-us N  blocking latency per physical read in the {THROUGHPUT_ID}/\n\
+         \x20              {PARTITION_ID} experiments (default 50; 0 = RAM-speed reads)\n\
+         --buffer F     buffer fraction of the {THROUGHPUT_ID}/{PARTITION_ID} stores, as a\n\
+         \x20              share of the data pages ({THROUGHPUT_ID} defaults to 0.01;\n\
+         \x20              {PARTITION_ID} defaults to 0.2 per region shard)\n\
+         --regions LIST region counts swept by {PARTITION_ID}, e.g. 1,2,4 (default)\n\
+         --partition-workers N  worker threads of the {PARTITION_ID} engine (default 4)\n\
+         --dimacs PATH  run {PARTITION_ID} on a DIMACS .gr road network instead of the\n\
+         \x20              synthetic topology (d = 4 costs drawn around the arc weights,\n\
+         \x20              clustered facilities placed on it)\n\
+         gate           re-measure mean logical page reads of every figure point and\n\
+         \x20              fail on >{:.0}% regression vs the checked-in baseline JSON",
         Experiment::all()
             .iter()
             .map(|e| e.id())
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        GATE_TOLERANCE * 100.0
     );
 }

@@ -128,10 +128,23 @@ impl Experiment {
 
     /// Runs the experiment sweep and returns its table.
     pub fn run(&self, config: &ExperimentConfig) -> ExperimentTable {
+        ExperimentTable::from_points(
+            self.id(),
+            self.figure(),
+            self.x_axis(),
+            &self.run_points(config),
+            config.latency,
+        )
+    }
+
+    /// Runs the experiment sweep and returns the raw per-point measurements
+    /// (the table's rows keep only the charged-time view; the regression
+    /// gate needs the deterministic logical-read means).
+    pub fn run_points(&self, config: &ExperimentConfig) -> Vec<PointMeasurement> {
         let base = config.base_spec();
         let default_buffer = 0.01;
         let default_k = 4;
-        let points: Vec<PointMeasurement> = match self {
+        match self {
             Experiment::SkylineFacilities | Experiment::TopKFacilities => {
                 let kind = self.kind(default_k);
                 config
@@ -200,14 +213,7 @@ impl Experiment {
                     )
                 })
                 .collect(),
-        };
-        ExperimentTable::from_points(
-            self.id(),
-            self.figure(),
-            self.x_axis(),
-            &points,
-            config.latency,
-        )
+        }
     }
 
     fn kind(&self, default_k: usize) -> QueryKind {

@@ -1,0 +1,281 @@
+//! The bench regression gate: mean logical page reads per figure point,
+//! compared against a checked-in baseline.
+//!
+//! Wall-clock benchmarks are too noisy for CI, but **logical page reads are
+//! deterministic**: the workload generator, the query locations and the
+//! algorithms are all seeded, so every figure point requests exactly the
+//! same pages run after run and machine after machine. The gate exploits
+//! that: it re-runs the (small, fixed) gate configuration of every figure
+//! sweep, extracts each point's mean logical reads for LSA and CEA, and
+//! fails when any point regressed by more than [`GATE_TOLERANCE`] against
+//! the baseline JSON checked into the repository.
+//!
+//! `experiments gate --baseline FILE` runs the comparison;
+//! `--update` rewrites the baseline after an intentional change (the diff
+//! then documents the cost shift in review).
+
+use crate::experiments::{Experiment, ExperimentConfig};
+use serde::{Deserialize, Serialize};
+
+/// Allowed relative increase of any point's logical reads (2 %).
+pub const GATE_TOLERANCE: f64 = 0.02;
+
+/// The fixed, fast configuration the gate always runs (the baseline is only
+/// comparable at the exact same configuration, so it is stored in the file
+/// and cross-checked).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateConfig {
+    /// Scale-down divider of the paper workload.
+    pub scale: usize,
+    /// Query locations per data point.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            scale: 2000,
+            queries: 2,
+            seed: 2010,
+        }
+    }
+}
+
+impl GateConfig {
+    fn experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            scale: self.scale,
+            queries: Some(self.queries),
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One figure point's deterministic I/O cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GatePoint {
+    /// The point's x-axis label (e.g. `"d = 3"`).
+    pub label: String,
+    /// Mean logical page reads per LSA query.
+    pub lsa_logical_reads: f64,
+    /// Mean logical page reads per CEA query.
+    pub cea_logical_reads: f64,
+}
+
+/// One figure's points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateTable {
+    /// The experiment id (e.g. `"sky-p"`).
+    pub id: String,
+    /// One entry per swept x-axis value.
+    pub points: Vec<GatePoint>,
+}
+
+/// The whole baseline: the configuration it was measured at plus every
+/// figure's points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateBaseline {
+    /// The configuration the numbers belong to.
+    pub config: GateConfig,
+    /// One table per figure experiment, in paper order.
+    pub tables: Vec<GateTable>,
+}
+
+impl GateBaseline {
+    /// Serializes the baseline as indented JSON (the checked-in format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs every figure sweep at the gate configuration and collects the mean
+/// logical reads per point.
+pub fn run_gate(config: &GateConfig) -> GateBaseline {
+    let experiment_config = config.experiment_config();
+    let tables = Experiment::all()
+        .iter()
+        .map(|experiment| GateTable {
+            id: experiment.id().to_string(),
+            points: experiment
+                .run_points(&experiment_config)
+                .into_iter()
+                .map(|p| GatePoint {
+                    label: p.label,
+                    lsa_logical_reads: p.lsa.logical_reads,
+                    cea_logical_reads: p.cea.logical_reads,
+                })
+                .collect(),
+        })
+        .collect();
+    GateBaseline {
+        config: config.clone(),
+        tables,
+    }
+}
+
+/// Compares a fresh run against the checked-in baseline. Returns one message
+/// per violation (empty = gate passed): configuration or shape mismatches,
+/// and any point whose logical reads grew by more than `tolerance`.
+/// Improvements never fail the gate — refresh the baseline with `--update`
+/// to lock them in.
+pub fn compare_gate(
+    current: &GateBaseline,
+    baseline: &GateBaseline,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.config != baseline.config {
+        violations.push(format!(
+            "gate configuration changed: baseline {:?} vs current {:?} (re-create the baseline)",
+            baseline.config, current.config
+        ));
+        return violations;
+    }
+    if current.tables.len() != baseline.tables.len() {
+        violations.push(format!(
+            "figure count changed: baseline {} vs current {} (re-create the baseline)",
+            baseline.tables.len(),
+            current.tables.len()
+        ));
+        return violations;
+    }
+    for (cur, base) in current.tables.iter().zip(&baseline.tables) {
+        if cur.id != base.id || cur.points.len() != base.points.len() {
+            violations.push(format!(
+                "table shape changed: baseline {} ({} points) vs current {} ({} points)",
+                base.id,
+                base.points.len(),
+                cur.id,
+                cur.points.len()
+            ));
+            continue;
+        }
+        for (cp, bp) in cur.points.iter().zip(&base.points) {
+            if cp.label != bp.label {
+                violations.push(format!(
+                    "{}: point label changed: `{}` vs `{}`",
+                    cur.id, bp.label, cp.label
+                ));
+                continue;
+            }
+            for (algo, current_reads, baseline_reads) in [
+                ("LSA", cp.lsa_logical_reads, bp.lsa_logical_reads),
+                ("CEA", cp.cea_logical_reads, bp.cea_logical_reads),
+            ] {
+                if current_reads > baseline_reads * (1.0 + tolerance) {
+                    violations.push(format!(
+                        "{} [{}] {algo}: {current_reads:.1} logical reads vs baseline \
+                         {baseline_reads:.1} (+{:.1}% > {:.0}% allowed)",
+                        cur.id,
+                        cp.label,
+                        (current_reads / baseline_reads - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single-figure baseline for fast tests (run_gate over all nine
+    /// figures is exercised by the binary in CI).
+    fn small_baseline() -> GateBaseline {
+        let config = GateConfig::default();
+        let table = GateTable {
+            id: "sky-d".into(),
+            points: vec![
+                GatePoint {
+                    label: "d = 2".into(),
+                    lsa_logical_reads: 100.0,
+                    cea_logical_reads: 80.0,
+                },
+                GatePoint {
+                    label: "d = 3".into(),
+                    lsa_logical_reads: 150.0,
+                    cea_logical_reads: 110.0,
+                },
+            ],
+        };
+        GateBaseline {
+            config,
+            tables: vec![table],
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = small_baseline();
+        assert!(compare_gate(&b, &b, GATE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn small_improvements_and_jitter_pass_regressions_fail() {
+        let base = small_baseline();
+        let mut current = base.clone();
+        current.tables[0].points[0].lsa_logical_reads = 101.9; // +1.9 %
+        current.tables[0].points[1].cea_logical_reads = 90.0; // improvement
+        assert!(compare_gate(&current, &base, GATE_TOLERANCE).is_empty());
+        current.tables[0].points[0].lsa_logical_reads = 103.0; // +3 %
+        let violations = compare_gate(&current, &base, GATE_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("sky-d"));
+        assert!(violations[0].contains("LSA"));
+    }
+
+    #[test]
+    fn shape_and_config_changes_are_reported() {
+        let base = small_baseline();
+        let mut current = base.clone();
+        current.config.scale = 50;
+        assert!(compare_gate(&current, &base, GATE_TOLERANCE)[0].contains("configuration"));
+        let mut current = base.clone();
+        current.tables[0].points.pop();
+        assert!(compare_gate(&current, &base, GATE_TOLERANCE)[0].contains("shape"));
+        let mut current = base.clone();
+        current.tables[0].points[1].label = "d = 9".into();
+        assert!(compare_gate(&current, &base, GATE_TOLERANCE)[0].contains("label"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let b = small_baseline();
+        let json = b.to_json();
+        let parsed = GateBaseline::from_json(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn run_gate_is_deterministic_for_one_figure() {
+        // The property the whole gate rests on: identical config ⇒ identical
+        // logical reads. Checked here for one figure (cheap); CI checks all
+        // nine through the binary.
+        let config = GateConfig::default().experiment_config();
+        let a = Experiment::SkylineCostTypes.run_points(&config);
+        let b = Experiment::SkylineCostTypes.run_points(&config);
+        let reads = |points: &[crate::measure::PointMeasurement]| {
+            points
+                .iter()
+                .map(|p| (p.lsa.logical_reads, p.cea.logical_reads))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(reads(&a), reads(&b));
+        assert!(a.iter().all(|p| p.lsa.logical_reads > 0.0));
+    }
+}

@@ -22,12 +22,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod gate;
 pub mod measure;
+pub mod partition;
 pub mod report;
+pub mod requests;
 pub mod throughput;
 
 pub use experiments::{all_experiments, Experiment, ExperimentConfig};
+pub use gate::{
+    compare_gate, run_gate, GateBaseline, GateConfig, GatePoint, GateTable, GATE_TOLERANCE,
+};
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
+pub use partition::{
+    dimacs_workload, render_partition_table, run_partition, run_partition_on, PartitionConfig,
+    PartitionRow, PartitionTable, PARTITION_ID,
+};
 pub use report::{render_table, ExperimentTable, Row};
 pub use throughput::{
     build_request_batch, render_throughput_table, run_throughput, ThroughputConfig, ThroughputRow,

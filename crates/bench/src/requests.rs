@@ -1,0 +1,42 @@
+//! Shared scaffolding for building deterministic mixed query batches.
+//!
+//! The multi-query experiments (`throughput`, `partition`) all drive the
+//! engine with the same shape of batch: the workload's query locations
+//! cycled up to the batch size, seeded random weighted-sum coefficients,
+//! and LSA/CEA alternation — only the request-kind mix differs. This
+//! helper owns the scaffolding so the experiments cannot drift apart.
+
+use mcn_core::Algorithm;
+use mcn_engine::QueryRequest;
+use mcn_graph::NetworkLocation;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a deterministic mixed batch: `queries` cycled `batch` times, one
+/// fresh weight vector of arity `d` per request, CEA/LSA alternating by
+/// index, and the request kind chosen by `kind(index, location, weights,
+/// algorithm)`. Deterministic in `seed`.
+pub fn mixed_request_batch(
+    queries: &[NetworkLocation],
+    d: usize,
+    batch: usize,
+    seed: u64,
+    kind: impl Fn(usize, NetworkLocation, Vec<f64>, Algorithm) -> QueryRequest,
+) -> Vec<QueryRequest> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    queries
+        .iter()
+        .cycle()
+        .take(batch)
+        .enumerate()
+        .map(|(i, &location)| {
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let algorithm = if i % 2 == 0 {
+                Algorithm::Cea
+            } else {
+                Algorithm::Lsa
+            };
+            kind(i, location, weights, algorithm)
+        })
+        .collect()
+}

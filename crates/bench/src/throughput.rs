@@ -13,12 +13,9 @@
 //! * total logical page reads stay within 1 % of the serial run (they are in
 //!   fact exactly equal — logical reads are a pure function of the queries).
 
-use mcn_core::Algorithm;
 use mcn_engine::{QueryEngine, QueryRequest};
 use mcn_gen::{generate_workload, WorkloadSpec};
 use mcn_storage::{BufferConfig, DiskManager, InMemoryDisk, MCNStore};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -123,40 +120,30 @@ pub fn build_request_batch(
     queries: &[mcn_graph::NetworkLocation],
     config: &ThroughputConfig,
 ) -> Vec<QueryRequest> {
-    let d = spec.cost_types;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0051_C0DE);
-    queries
-        .iter()
-        .cycle()
-        .take(config.batch)
-        .enumerate()
-        .map(|(i, &location)| {
-            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
-            let algorithm = if i % 2 == 0 {
-                Algorithm::Cea
-            } else {
-                Algorithm::Lsa
-            };
-            match i % 3 {
-                0 => QueryRequest::Skyline {
-                    location,
-                    algorithm,
-                },
-                1 => QueryRequest::TopK {
-                    location,
-                    weights,
-                    k: config.k,
-                    algorithm,
-                },
-                _ => QueryRequest::TopKIncremental {
-                    location,
-                    weights,
-                    take: config.k,
-                    algorithm,
-                },
-            }
-        })
-        .collect()
+    crate::requests::mixed_request_batch(
+        queries,
+        spec.cost_types,
+        config.batch,
+        config.seed ^ 0x0051_C0DE,
+        |i, location, weights, algorithm| match i % 3 {
+            0 => QueryRequest::Skyline {
+                location,
+                algorithm,
+            },
+            1 => QueryRequest::TopK {
+                location,
+                weights,
+                k: config.k,
+                algorithm,
+            },
+            _ => QueryRequest::TopKIncremental {
+                location,
+                weights,
+                take: config.k,
+                algorithm,
+            },
+        },
+    )
 }
 
 /// Runs the throughput sweep described by `config`.

@@ -37,7 +37,7 @@ use mcn_expansion::{
     ParallelDriver, SerialDriver, SharedAccess,
 };
 use mcn_graph::{dominates_weak, CostVec, EdgeId, FacilityId, NetworkLocation};
-use mcn_storage::{IoStats, MCNStore};
+use mcn_storage::{IoStats, StoreView};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,26 +109,29 @@ pub struct SkylineSearch<A: NetworkAccess, D: ExpansionDriver = SerialDriver<A>>
     started: Instant,
 }
 
-impl SkylineSearch<DirectAccess> {
-    /// Starts an LSA skyline computation at `location`.
-    pub fn lsa(store: Arc<MCNStore>, location: NetworkLocation) -> Self {
+impl<S: StoreView + ?Sized> SkylineSearch<DirectAccess<S>> {
+    /// Starts an LSA skyline computation at `location`. The store may be
+    /// monolithic (`MCNStore`, the default) or any other [`StoreView`],
+    /// e.g. a region-partitioned store — the results are identical.
+    pub fn lsa(store: Arc<S>, location: NetworkLocation) -> Self {
         Self::new(Arc::new(DirectAccess::new(store)), location, "LSA")
     }
 }
 
-impl SkylineSearch<SharedAccess> {
-    /// Starts a CEA skyline computation at `location`.
-    pub fn cea(store: Arc<MCNStore>, location: NetworkLocation) -> Self {
+impl<S: StoreView + ?Sized> SkylineSearch<SharedAccess<S>> {
+    /// Starts a CEA skyline computation at `location` (over any
+    /// [`StoreView`], like [`SkylineSearch::lsa`]).
+    pub fn cea(store: Arc<S>, location: NetworkLocation) -> Self {
         Self::new(Arc::new(SharedAccess::new(store)), location, "CEA")
     }
 }
 
-impl SkylineSearch<DirectAccess, ParallelDriver> {
+impl<S: StoreView + ?Sized> SkylineSearch<DirectAccess<S>, ParallelDriver> {
     /// Starts an LSA skyline computation whose `d` expansions run on worker
     /// threads. Results (facilities, cost vectors, order) are byte-identical
     /// to [`SkylineSearch::lsa`]; only the work/timing statistics may differ
     /// because workers can run slightly ahead of the coordinator.
-    pub fn lsa_parallel(store: Arc<MCNStore>, location: NetworkLocation) -> Self {
+    pub fn lsa_parallel(store: Arc<S>, location: NetworkLocation) -> Self {
         Self::new_parallel(Arc::new(DirectAccess::new(store)), location, "LSA-par")
     }
 }
@@ -408,9 +411,10 @@ impl<A: NetworkAccess, D: ExpansionDriver> Iterator for SkylineSearch<A, D> {
     }
 }
 
-/// Computes the complete skyline of `location` with the chosen algorithm.
-pub fn skyline_query(
-    store: &Arc<MCNStore>,
+/// Computes the complete skyline of `location` with the chosen algorithm,
+/// over any [`StoreView`] (monolithic or partitioned — identical results).
+pub fn skyline_query<S: StoreView + ?Sized>(
+    store: &Arc<S>,
     location: NetworkLocation,
     algorithm: Algorithm,
 ) -> SkylineResult {
@@ -426,7 +430,10 @@ pub fn skyline_query(
 /// The result (facilities, cost vectors, emission order) is identical to
 /// `skyline_query(store, location, Algorithm::Lsa)`; the parallelism
 /// overlaps the expansions' page fetches and heap work across cores.
-pub fn parallel_lsa_skyline(store: &Arc<MCNStore>, location: NetworkLocation) -> SkylineResult {
+pub fn parallel_lsa_skyline<S: StoreView + ?Sized>(
+    store: &Arc<S>,
+    location: NetworkLocation,
+) -> SkylineResult {
     SkylineSearch::lsa_parallel(store.clone(), location).into_result()
 }
 
@@ -435,7 +442,10 @@ pub fn parallel_lsa_skyline(store: &Arc<MCNStore>, location: NetworkLocation) ->
 /// conventional main-memory skyline algorithm (BNL).
 ///
 /// Facilities unreachable w.r.t. some cost type keep `+∞` for that component.
-pub fn baseline_skyline(store: &Arc<MCNStore>, location: NetworkLocation) -> SkylineResult {
+pub fn baseline_skyline<S: StoreView + ?Sized>(
+    store: &Arc<S>,
+    location: NetworkLocation,
+) -> SkylineResult {
     let started = Instant::now();
     let access = Arc::new(DirectAccess::new(store.clone()));
     let start_io = access.io_stats();

@@ -20,7 +20,7 @@ use mcn_expansion::{
     SharedAccess,
 };
 use mcn_graph::{CostVec, EdgeId, FacilityId, NetworkLocation};
-use mcn_storage::{IoStats, MCNStore};
+use mcn_storage::{IoStats, StoreView};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -334,9 +334,10 @@ fn topk_with_access<A: NetworkAccess, F: AggregateCost>(
 }
 
 /// Computes the `k` facilities with the smallest aggregate cost from
-/// `location`, using LSA- or CEA-style expansion.
-pub fn topk_query<F: AggregateCost>(
-    store: &Arc<MCNStore>,
+/// `location`, using LSA- or CEA-style expansion, over any [`StoreView`]
+/// (monolithic or partitioned — identical results).
+pub fn topk_query<S: StoreView + ?Sized, F: AggregateCost>(
+    store: &Arc<S>,
     location: NetworkLocation,
     aggregate: F,
     k: usize,
@@ -362,8 +363,8 @@ pub fn topk_query<F: AggregateCost>(
 
 /// The straightforward top-k baseline: `d` complete expansions to obtain every
 /// facility's cost vector, then sort by aggregate cost.
-pub fn baseline_topk<F: AggregateCost>(
-    store: &Arc<MCNStore>,
+pub fn baseline_topk<S: StoreView + ?Sized, F: AggregateCost>(
+    store: &Arc<S>,
     location: NetworkLocation,
     aggregate: F,
     k: usize,
@@ -439,9 +440,10 @@ pub struct TopKIter<A: NetworkAccess, F: AggregateCost> {
     exhausted_resolved: bool,
 }
 
-impl<F: AggregateCost> TopKIter<DirectAccess, F> {
-    /// Starts an incremental top-k iteration with LSA-style access.
-    pub fn lsa(store: Arc<MCNStore>, location: NetworkLocation, aggregate: F) -> Self {
+impl<S: StoreView + ?Sized, F: AggregateCost> TopKIter<DirectAccess<S>, F> {
+    /// Starts an incremental top-k iteration with LSA-style access (over any
+    /// [`StoreView`]).
+    pub fn lsa(store: Arc<S>, location: NetworkLocation, aggregate: F) -> Self {
         Self::new(
             Arc::new(DirectAccess::new(store)),
             location,
@@ -451,9 +453,10 @@ impl<F: AggregateCost> TopKIter<DirectAccess, F> {
     }
 }
 
-impl<F: AggregateCost> TopKIter<SharedAccess, F> {
-    /// Starts an incremental top-k iteration with CEA-style access.
-    pub fn cea(store: Arc<MCNStore>, location: NetworkLocation, aggregate: F) -> Self {
+impl<S: StoreView + ?Sized, F: AggregateCost> TopKIter<SharedAccess<S>, F> {
+    /// Starts an incremental top-k iteration with CEA-style access (over any
+    /// [`StoreView`]).
+    pub fn cea(store: Arc<S>, location: NetworkLocation, aggregate: F) -> Self {
         Self::new(
             Arc::new(SharedAccess::new(store)),
             location,

@@ -1,9 +1,11 @@
 //! The bounded worker pool scheduling a batch of queries.
 
 use crate::request::{QueryOutcome, QueryRequest};
-use mcn_storage::{IoStats, MCNStore};
+use mcn_graph::RegionId;
+use mcn_storage::{with_seed_region, IoStats, MCNStore, StoreView};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,6 +24,13 @@ pub struct BatchStats {
     /// before/after snapshots of the striped buffer pool (so
     /// `logical_reads == buffer_hits + buffer_misses` holds exactly).
     pub io: IoStats,
+    /// Region-affine scheduling only: claims where a worker stayed on its
+    /// previous region (zero for FIFO batches).
+    pub affine_hits: u64,
+    /// Region-affine scheduling only: fallback claims onto a region another
+    /// worker was already serving (the no-starvation path; zero for FIFO
+    /// batches).
+    pub affine_steals: u64,
 }
 
 /// A batch of outcomes plus its aggregate statistics. `outcomes[i]` belongs
@@ -34,22 +43,102 @@ pub struct BatchResult {
     pub stats: BatchStats,
 }
 
-/// A multi-query scheduler: a fixed-size pool of worker threads draining a
-/// batch of [`QueryRequest`]s against one shared [`MCNStore`].
-///
-/// Workers claim requests FIFO through an atomic cursor; each query runs the
-/// ordinary single-query algorithm on the claiming worker's thread, so
-/// results are identical to serial execution (`workers == 1`) at any pool
-/// size — only throughput changes.
-pub struct QueryEngine {
-    store: Arc<MCNStore>,
-    workers: usize,
+/// The shared state of a region-affine batch: one FIFO queue of request
+/// indices per region, plus how many workers are currently serving each
+/// region.
+struct AffineState {
+    queues: Vec<VecDeque<usize>>,
+    active: Vec<usize>,
+    remaining: usize,
 }
 
-impl QueryEngine {
+/// How a region-affine claim was made (for the batch statistics).
+enum ClaimKind {
+    /// The worker stayed on its previous region.
+    Sticky,
+    /// The worker moved to a region no one was serving.
+    Spread,
+    /// Every region with pending work was already being served; the worker
+    /// took the globally oldest request anyway (prevents starvation).
+    Steal,
+}
+
+impl AffineState {
+    fn new(regions: &[RegionId], num_regions: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); num_regions];
+        for (i, region) in regions.iter().enumerate() {
+            queues[region.index()].push_back(i);
+        }
+        Self {
+            active: vec![0; num_regions],
+            remaining: regions.len(),
+            queues,
+        }
+    }
+
+    /// Claims the next request for a worker whose previous region was
+    /// `prefer`: its own region first, then the oldest request of an idle
+    /// region, then — FIFO fallback — the oldest request overall.
+    fn claim(&mut self, prefer: Option<usize>) -> Option<(usize, usize, ClaimKind)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if let Some(r) = prefer {
+            if let Some(i) = self.queues[r].pop_front() {
+                self.active[r] += 1;
+                self.remaining -= 1;
+                return Some((r, i, ClaimKind::Sticky));
+            }
+        }
+        let oldest = |r_active: bool, queues: &[VecDeque<usize>], active: &[usize]| {
+            queues
+                .iter()
+                .enumerate()
+                .filter(|(r, q)| !q.is_empty() && (r_active || active[*r] == 0))
+                .min_by_key(|(_, q)| *q.front().unwrap())
+                .map(|(r, _)| r)
+        };
+        let (region, kind) = match oldest(false, &self.queues, &self.active) {
+            Some(r) => (r, ClaimKind::Spread),
+            // Every region with work is being served: take the oldest
+            // pending request anyway so no request waits forever.
+            None => (
+                oldest(true, &self.queues, &self.active)
+                    .expect("remaining > 0 implies a non-empty queue"),
+                ClaimKind::Steal,
+            ),
+        };
+        let i = self.queues[region].pop_front().unwrap();
+        self.active[region] += 1;
+        self.remaining -= 1;
+        Some((region, i, kind))
+    }
+}
+
+/// A multi-query scheduler: a fixed-size pool of worker threads draining a
+/// batch of [`QueryRequest`]s against one shared store — a monolithic
+/// [`MCNStore`] (the default) or any other [`StoreView`], e.g. a
+/// region-partitioned store.
+///
+/// [`QueryEngine::run_batch`] claims requests FIFO through an atomic cursor.
+/// [`QueryEngine::run_batch_with_regions`] additionally tags every query
+/// with its seed region and can schedule **region-affine**: workers prefer
+/// to stay on the region they just served (keeping that region's buffer
+/// pool hot and avoiding two workers thrashing one region's pool), spread
+/// to idle regions otherwise, and fall back to plain FIFO when every
+/// region is taken — so no request ever starves. Scheduling never changes
+/// results: each query runs the ordinary single-query algorithm, so
+/// per-query outputs are identical to serial execution at any pool size
+/// and in both scheduling modes.
+pub struct QueryEngine<S: StoreView + ?Sized = MCNStore> {
+    workers: usize,
+    store: Arc<S>,
+}
+
+impl<S: StoreView + ?Sized> QueryEngine<S> {
     /// Creates an engine over `store` with `workers` threads (clamped to at
     /// least one).
-    pub fn new(store: Arc<MCNStore>, workers: usize) -> Self {
+    pub fn new(store: Arc<S>, workers: usize) -> Self {
         Self {
             store,
             workers: workers.max(1),
@@ -57,7 +146,7 @@ impl QueryEngine {
     }
 
     /// The shared store.
-    pub fn store(&self) -> &Arc<MCNStore> {
+    pub fn store(&self) -> &Arc<S> {
         &self.store
     }
 
@@ -78,26 +167,102 @@ impl QueryEngine {
     /// is plain serial execution on one spawned thread; larger pools only
     /// change scheduling, never results.
     pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResult {
+        self.run(requests, None, false)
+    }
+
+    /// Like [`QueryEngine::run_batch`], with every query tagged by its seed
+    /// region (`regions[i]` for `requests[i]`, as produced by
+    /// `PartitionMap::region_of_location`). Execution is wrapped in
+    /// [`with_seed_region`], so a partitioned store classifies its reads as
+    /// home/cross-region in **both** modes; `affine` selects region-affine
+    /// claiming over plain FIFO. Results are byte-identical either way.
+    ///
+    /// # Panics
+    /// Panics if the tag slice length differs from the request count.
+    pub fn run_batch_with_regions(
+        &self,
+        requests: &[QueryRequest],
+        regions: &[RegionId],
+        affine: bool,
+    ) -> BatchResult {
+        assert_eq!(
+            requests.len(),
+            regions.len(),
+            "one region tag per request required"
+        );
+        self.run(requests, Some(regions), affine)
+    }
+
+    fn run(
+        &self,
+        requests: &[QueryRequest],
+        regions: Option<&[RegionId]>,
+        affine: bool,
+    ) -> BatchResult {
         let n = requests.len();
         let io_before = self.store.io_stats();
         let started = Instant::now();
-        let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let affine_hits = AtomicU64::new(0);
+        let affine_steals = AtomicU64::new(0);
+
+        let execute = |i: usize| {
+            let outcome = match regions {
+                Some(tags) => with_seed_region(tags[i], || requests[i].execute(&self.store)),
+                None => requests[i].execute(&self.store),
+            };
+            *slots[i].lock() = Some(outcome);
+        };
+
+        // Scheduler state lives outside the scope so worker borrows survive
+        // until the final join.
+        let cursor = AtomicUsize::new(0);
+        let state = affine.then(|| {
+            let tags = regions.expect("affine scheduling requires region tags");
+            let num_regions = tags.iter().map(|r| r.index() + 1).max().unwrap_or(1);
+            Mutex::new(AffineState::new(tags, num_regions))
+        });
 
         std::thread::scope(|scope| {
-            // Never spawn more workers than there are queries.
-            for _ in 0..self.workers.min(n.max(1)) {
-                let cursor = &cursor;
-                let slots = &slots;
-                let store = &self.store;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let outcome = requests[i].execute(store);
-                    *slots[i].lock() = Some(outcome);
-                });
+            let workers = self.workers.min(n.max(1));
+            if let Some(state) = &state {
+                for _ in 0..workers {
+                    let execute = &execute;
+                    let affine_hits = &affine_hits;
+                    let affine_steals = &affine_steals;
+                    scope.spawn(move || {
+                        let mut last: Option<usize> = None;
+                        loop {
+                            let Some((region, i, kind)) = state.lock().claim(last) else {
+                                break;
+                            };
+                            match kind {
+                                ClaimKind::Sticky => {
+                                    affine_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ClaimKind::Spread => {}
+                                ClaimKind::Steal => {
+                                    affine_steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            execute(i);
+                            state.lock().active[region] -= 1;
+                            last = Some(region);
+                        }
+                    });
+                }
+            } else {
+                for _ in 0..workers {
+                    let cursor = &cursor;
+                    let execute = &execute;
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        execute(i);
+                    });
+                }
             }
         });
 
@@ -123,6 +288,8 @@ impl QueryEngine {
                 wall,
                 qps,
                 io,
+                affine_hits: affine_hits.into_inner(),
+                affine_steals: affine_steals.into_inner(),
             },
         }
     }
@@ -134,7 +301,8 @@ mod tests {
     use crate::request::QueryOutput;
     use mcn_core::Algorithm;
     use mcn_gen::{generate_workload, WorkloadSpec};
-    use mcn_storage::BufferConfig;
+    use mcn_graph::{partition_graph, PartitionSpec};
+    use mcn_storage::{BufferConfig, PartitionedStore};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
@@ -181,6 +349,50 @@ mod tests {
         (store, requests)
     }
 
+    /// A partitioned fixture: the same workload shape over region shards,
+    /// with every request tagged by its seed region.
+    fn partitioned_fixture(
+        regions: usize,
+    ) -> (Arc<PartitionedStore>, Vec<QueryRequest>, Vec<RegionId>) {
+        let workload = generate_workload(&WorkloadSpec::tiny(11));
+        let d = workload.spec.cost_types;
+        let map = partition_graph(&workload.graph, &PartitionSpec::new(regions));
+        let tags_of = |location| map.region_of_location(&workload.graph, location);
+        let store = Arc::new(
+            PartitionedStore::build_in_memory(
+                &workload.graph,
+                map.clone(),
+                BufferConfig::Pages(32),
+            )
+            .unwrap(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut requests = Vec::new();
+        let mut tags = Vec::new();
+        for (i, &location) in workload.queries.iter().cycle().take(16).enumerate() {
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let algorithm = if i % 2 == 0 {
+                Algorithm::Cea
+            } else {
+                Algorithm::Lsa
+            };
+            requests.push(match i % 2 {
+                0 => QueryRequest::Skyline {
+                    location,
+                    algorithm,
+                },
+                _ => QueryRequest::TopK {
+                    location,
+                    weights,
+                    k: 4,
+                    algorithm,
+                },
+            });
+            tags.push(tags_of(location));
+        }
+        (store, requests, tags)
+    }
+
     fn fingerprints(result: &BatchResult) -> Vec<String> {
         result
             .outcomes
@@ -215,6 +427,8 @@ mod tests {
             result.stats.io.logical_reads,
             result.stats.io.buffer_hits + result.stats.io.buffer_misses
         );
+        assert_eq!(result.stats.affine_hits, 0);
+        assert_eq!(result.stats.affine_steals, 0);
         for outcome in &result.outcomes {
             assert!(!outcome.output.is_empty());
             assert!(outcome.stats.nodes_settled > 0);
@@ -271,8 +485,64 @@ mod tests {
     }
 
     #[test]
+    fn engine_runs_over_a_partitioned_store() {
+        let (store, requests, tags) = partitioned_fixture(4);
+        let engine = QueryEngine::new(store.clone(), 4);
+        let fifo = engine.run_batch_with_regions(&requests, &tags, false);
+        let affine = engine.run_batch_with_regions(&requests, &tags, true);
+        // Scheduling mode changes neither the results …
+        assert_eq!(fingerprints(&fifo), fingerprints(&affine));
+        // … nor the logical read count (a pure function of the queries).
+        assert_eq!(fifo.stats.io.logical_reads, affine.stats.io.logical_reads);
+        // Every query executed exactly once (no starvation, no loss).
+        assert_eq!(affine.outcomes.len(), requests.len());
+        // The seed scope classified reads in both modes.
+        let traffic = store.region_traffic();
+        assert!(traffic.home_reads + traffic.cross_reads > 0);
+    }
+
+    #[test]
+    fn affine_matches_plain_fifo_on_a_monolithic_store_too() {
+        // Region tags over a monolithic store are legal (single region 0):
+        // affinity degenerates to FIFO with extra bookkeeping.
+        let (store, requests) = fixture();
+        let tags = vec![RegionId::new(0); requests.len()];
+        let engine = QueryEngine::new(store.clone(), 3);
+        let plain = engine.run_batch(&requests);
+        let affine = engine.run_batch_with_regions(&requests, &tags, true);
+        assert_eq!(fingerprints(&plain), fingerprints(&affine));
+        // One region, three workers: apart from each worker's first claim
+        // (spread or steal depending on timing), every claim is sticky or a
+        // steal — never more than the batch minus the very first spread.
+        let classified = affine.stats.affine_hits + affine.stats.affine_steals;
+        assert!(
+            (requests.len() as u64 - 3..requests.len() as u64).contains(&classified),
+            "unexpected claim mix: {classified} of {}",
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn single_worker_affine_drains_regions_without_steals() {
+        // With one worker the schedule is fully deterministic: spread to the
+        // oldest idle region, drain it with sticky claims, repeat. The steal
+        // path (another worker on the region) cannot trigger.
+        let (store, requests, tags) = partitioned_fixture(8);
+        let engine = QueryEngine::new(store, 1);
+        let result = engine.run_batch_with_regions(&requests, &tags, true);
+        let distinct: std::collections::HashSet<RegionId> = tags.iter().copied().collect();
+        assert_eq!(result.stats.affine_steals, 0);
+        assert_eq!(
+            result.stats.affine_hits,
+            (requests.len() - distinct.len()) as u64
+        );
+    }
+
+    #[test]
     fn engine_is_send_and_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         const _: () = assert_send_sync::<QueryEngine>();
+        const _: () = assert_send_sync::<QueryEngine<PartitionedStore>>();
+        const _: () = assert_send_sync::<QueryEngine<dyn StoreView>>();
     }
 }

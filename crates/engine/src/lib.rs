@@ -1,13 +1,15 @@
 //! # mcn-engine
 //!
 //! A **concurrent multi-query execution engine** over a shared, read-only
-//! [`MCNStore`](mcn_storage::MCNStore).
+//! store — a monolithic [`MCNStore`](mcn_storage::MCNStore) (the default)
+//! or any other [`StoreView`](mcn_storage::StoreView), e.g. the
+//! region-sharded [`PartitionedStore`](mcn_storage::PartitionedStore).
 //!
 //! The paper evaluates one query at a time; a production service faces many
 //! skyline/top-k queries in flight against one network. Everything below the
 //! engine is already built for that: the store is immutable once built, the
 //! buffer pool is lock-striped ([`mcn_storage::BufferPool`]), and the
-//! expansion/core layers are `Send` over `Arc<MCNStore>`. The engine adds the
+//! expansion/core layers are `Send` over any store view. The engine adds the
 //! missing scheduling layer:
 //!
 //! * [`QueryRequest`] — a skyline, batch top-k, or incremental top-k query,
@@ -16,8 +18,14 @@
 //!   requests FIFO; each query runs the ordinary single-query algorithm, so
 //!   per-query results are **identical** to serial execution no matter how
 //!   many workers race over the shared buffer pool.
+//! * [`QueryEngine::run_batch_with_regions`] — **region-affine** scheduling
+//!   for partitioned stores: queries are tagged with their seed region,
+//!   workers prefer to stay on the region they just served (keeping its
+//!   buffer pool hot), spread to idle regions otherwise, and fall back to
+//!   FIFO so no request starves. Results stay byte-identical in both modes.
 //! * [`QueryOutcome`] / [`BatchStats`] — per-query statistics plus aggregate
-//!   throughput (QPS, consistent I/O deltas from the striped pool).
+//!   throughput (QPS, consistent I/O deltas from the striped pool, affine
+//!   claim counters).
 //!
 //! # Determinism
 //!

@@ -5,7 +5,7 @@ use mcn_core::{
     WeightedSum,
 };
 use mcn_graph::NetworkLocation;
-use mcn_storage::MCNStore;
+use mcn_storage::StoreView;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -55,8 +55,19 @@ impl QueryRequest {
         }
     }
 
-    /// Executes the request against `store` on the calling thread.
-    pub fn execute(&self, store: &Arc<MCNStore>) -> QueryOutcome {
+    /// The query location — what region-affine scheduling tags a request by
+    /// (via `PartitionMap::region_of_location`).
+    pub fn location(&self) -> NetworkLocation {
+        match self {
+            QueryRequest::Skyline { location, .. }
+            | QueryRequest::TopK { location, .. }
+            | QueryRequest::TopKIncremental { location, .. } => *location,
+        }
+    }
+
+    /// Executes the request against `store` (any [`StoreView`] — monolithic
+    /// or region-partitioned) on the calling thread.
+    pub fn execute<S: StoreView + ?Sized>(&self, store: &Arc<S>) -> QueryOutcome {
         let started = Instant::now();
         let (output, stats) = match self {
             QueryRequest::Skyline {

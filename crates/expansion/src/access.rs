@@ -15,10 +15,15 @@
 //! memoises the decoded records in an in-memory cache keyed by node / run, so
 //! a second request (from another expansion) never touches the buffer pool or
 //! the disk.
+//!
+//! Both accessors are generic over the [`StoreView`] they read —
+//! `MCNStore` by default, so existing call sites are unchanged, or a
+//! region-partitioned store (`mcn_storage::PartitionedStore`), over which
+//! every algorithm built on this layer produces byte-identical results.
 
 use mcn_graph::{EdgeId, FacilityId, NodeId};
 use mcn_storage::store::{EdgeEndpoints, FacilityInfo};
-use mcn_storage::{AdjacencyList, FacilityRun, IoStats, MCNStore};
+use mcn_storage::{AdjacencyList, FacilityRun, IoStats, MCNStore, StoreView};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,23 +50,23 @@ pub trait NetworkAccess {
 }
 
 /// Pass-through access: every request goes to the store (LSA's behaviour).
-pub struct DirectAccess {
-    store: Arc<MCNStore>,
+pub struct DirectAccess<S: StoreView + ?Sized = MCNStore> {
+    store: Arc<S>,
 }
 
-impl DirectAccess {
+impl<S: StoreView + ?Sized> DirectAccess<S> {
     /// Creates a pass-through accessor over `store`.
-    pub fn new(store: Arc<MCNStore>) -> Self {
+    pub fn new(store: Arc<S>) -> Self {
         Self { store }
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &Arc<MCNStore> {
+    pub fn store(&self) -> &Arc<S> {
         &self.store
     }
 }
 
-impl NetworkAccess for DirectAccess {
+impl<S: StoreView + ?Sized> NetworkAccess for DirectAccess<S> {
     fn num_cost_types(&self) -> usize {
         self.store.num_cost_types()
     }
@@ -106,16 +111,16 @@ pub struct SharingStats {
 /// The cache corresponds to the paper's notion of *expanded* nodes: once some
 /// expansion has paid the I/O to expand a node, the decoded record is kept in
 /// memory and every other expansion reuses it.
-pub struct SharedAccess {
-    store: Arc<MCNStore>,
+pub struct SharedAccess<S: StoreView + ?Sized = MCNStore> {
     adjacency: Mutex<HashMap<NodeId, Arc<AdjacencyList>>>,
     runs: Mutex<HashMap<(u32, u16), Arc<Vec<(FacilityId, f64)>>>>,
     stats: Mutex<SharingStats>,
+    store: Arc<S>,
 }
 
-impl SharedAccess {
+impl<S: StoreView + ?Sized> SharedAccess<S> {
     /// Creates a sharing accessor over `store` with an empty cache.
-    pub fn new(store: Arc<MCNStore>) -> Self {
+    pub fn new(store: Arc<S>) -> Self {
         Self {
             store,
             adjacency: Mutex::new(HashMap::new()),
@@ -125,7 +130,7 @@ impl SharedAccess {
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &Arc<MCNStore> {
+    pub fn store(&self) -> &Arc<S> {
         &self.store
     }
 
@@ -141,7 +146,7 @@ impl SharedAccess {
     }
 }
 
-impl NetworkAccess for SharedAccess {
+impl<S: StoreView + ?Sized> NetworkAccess for SharedAccess<S> {
     fn num_cost_types(&self) -> usize {
         self.store.num_cost_types()
     }

@@ -27,4 +27,4 @@ pub mod workload;
 pub use costs::{assign_costs, CostDistribution};
 pub use facilities::{place_facilities, FacilitySpec};
 pub use network::{build_graph, generate_topology, NetworkSpec, Topology};
-pub use workload::{generate_workload, Workload, WorkloadSpec};
+pub use workload::{generate_workload, workload_on_graph, Workload, WorkloadSpec};

@@ -87,6 +87,13 @@ define_id!(
     FacilityId,
     "p"
 );
+define_id!(
+    /// Identifier of a graph region produced by the partitioner (see
+    /// `mcn_graph::partition`). Regions shard the disk-resident store and
+    /// drive region-affine query scheduling in `mcn-engine`.
+    RegionId,
+    "r"
+);
 
 #[cfg(test)]
 mod tests {

@@ -47,6 +47,7 @@ pub mod graph;
 pub mod ids;
 pub mod location;
 pub mod node;
+pub mod partition;
 pub mod path;
 
 pub use builder::GraphBuilder;
@@ -56,7 +57,8 @@ pub use edge::Edge;
 pub use error::GraphError;
 pub use facility::Facility;
 pub use graph::MultiCostGraph;
-pub use ids::{EdgeId, FacilityId, NodeId};
+pub use ids::{EdgeId, FacilityId, NodeId, RegionId};
 pub use location::NetworkLocation;
 pub use node::Node;
+pub use partition::{partition_graph, PartitionMap, PartitionSpec};
 pub use path::Path;

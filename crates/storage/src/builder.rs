@@ -9,7 +9,7 @@ use crate::records::{
     adjacency_record_size, encode_adjacency_record, encode_facility_entry, AdjacencyEntry,
     FacilityRun, RecordPtr, FACILITY_ENTRY_SIZE,
 };
-use mcn_graph::MultiCostGraph;
+use mcn_graph::{MultiCostGraph, NodeId};
 
 /// A sequential page writer used while laying out the data files.
 struct PageCursor {
@@ -77,6 +77,37 @@ pub fn build_store(
     graph: &MultiCostGraph,
     disk: &dyn DiskManager,
 ) -> Result<StorageMeta, StorageError> {
+    build_region_store(graph, disk, &|_| true)
+}
+
+/// Lays out the region of `graph` selected by `owned` on `disk`: the same
+/// scheme as [`build_store`], restricted to the adjacency records of the
+/// owned nodes (this is what one shard of a
+/// [`crate::partitioned::PartitionedStore`] holds).
+///
+/// * The **facility file** covers every edge incident to at least one owned
+///   node, so each region resolves the facility runs its own adjacency
+///   records reference without leaving the shard. Facilities of boundary
+///   edges are therefore replicated in both incident regions.
+/// * The **adjacency tree** is keyed by global node ids but holds entries
+///   only for owned nodes ([`StaticBTree`] supports sparse sorted keys).
+/// * The **facility tree** and **edge index** are replicated in full: they
+///   are global id → metadata maps, small next to the data files, and
+///   replication lets every lookup stay in the querying region's shard.
+/// * The header counts (`num_nodes`, `num_edges`, `num_facilities`) describe
+///   the **whole network**, not the shard; per-shard entry counts live in
+///   the tree handles.
+///
+/// `build_store` is exactly this function with every node owned.
+///
+/// # Errors
+/// Fails if an owned node's adjacency record exceeds one page
+/// ([`StorageError::RecordTooLarge`]).
+pub fn build_region_store(
+    graph: &MultiCostGraph,
+    disk: &dyn DiskManager,
+    owned: &dyn Fn(NodeId) -> bool,
+) -> Result<StorageMeta, StorageError> {
     let d = graph.num_cost_types();
     let header_id = disk.allocate_page();
     debug_assert_eq!(header_id, PageId::new(0), "header must be the first page");
@@ -87,6 +118,9 @@ pub fn build_store(
     if graph.num_facilities() > 0 {
         let mut cursor = PageCursor::new(disk);
         for edge in graph.edges() {
+            if !owned(edge.source) && !owned(edge.target) {
+                continue;
+            }
             let fids = graph.facilities_on_edge(edge.id);
             if fids.is_empty() {
                 continue;
@@ -112,9 +146,12 @@ pub fn build_store(
     }
 
     // ---- Adjacency file ----------------------------------------------------
-    let mut node_ptrs: Vec<RecordPtr> = Vec::with_capacity(graph.num_nodes());
+    let mut node_ptrs: Vec<(u32, RecordPtr)> = Vec::with_capacity(graph.num_nodes());
     let mut cursor = PageCursor::new(disk);
     for node in graph.nodes() {
+        if !owned(node.id) {
+            continue;
+        }
         let incident = graph.incident_edges(node.id);
         let size = adjacency_record_size(incident.len(), d);
         if size > PAGE_SIZE {
@@ -138,19 +175,20 @@ pub fn build_store(
                 }
             })
             .collect();
-        node_ptrs.push(cursor.ptr());
+        node_ptrs.push((node.id.raw(), cursor.ptr()));
         encode_adjacency_record(&mut cursor.page.bytes_mut()[cursor.offset..], &entries);
         cursor.offset += size;
     }
     let adjacency_file_pages = cursor.finish(disk);
 
     // ---- Index trees -------------------------------------------------------
+    // `graph.nodes()` iterates in id order, so the (possibly sparse) keys are
+    // already strictly sorted as bulk loading requires.
     let adjacency_entries: Vec<(u32, Value)> = node_ptrs
         .iter()
-        .enumerate()
-        .map(|(i, ptr)| (i as u32, pack_u32_u16(ptr.page.raw(), ptr.offset)))
+        .map(|(id, ptr)| (*id, pack_u32_u16(ptr.page.raw(), ptr.offset)))
         .collect();
-    let adjacency_tree = StaticBTree::bulk_load(disk, &adjacency_entries);
+    let adjacency_tree = bulk_load_or_empty(disk, &adjacency_entries);
 
     let facility_entries: Vec<(u32, Value)> = graph
         .facilities()

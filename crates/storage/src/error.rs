@@ -26,6 +26,9 @@ pub enum StorageError {
     },
     /// The graph is too large for the 32-bit identifier space of the layout.
     TooManyPages,
+    /// A partitioned store's inputs are inconsistent (map/disks/manifest
+    /// mismatch).
+    Partition(String),
 }
 
 impl fmt::Display for StorageError {
@@ -45,6 +48,7 @@ impl fmt::Display for StorageError {
                 "truncated store header: {actual} bytes but the layout needs {required}"
             ),
             StorageError::TooManyPages => write!(f, "store exceeds the 32-bit page id space"),
+            StorageError::Partition(msg) => write!(f, "inconsistent partitioned store: {msg}"),
         }
     }
 }

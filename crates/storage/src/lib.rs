@@ -34,17 +34,23 @@ pub mod disk;
 pub mod error;
 pub mod meta;
 pub mod page;
+pub mod partitioned;
 pub mod records;
 pub mod stats;
 pub mod store;
+pub mod view;
 
 pub use btree::StaticBTree;
 pub use buffer::BufferPool;
-pub use builder::build_store;
+pub use builder::{build_region_store, build_store};
 pub use disk::{DiskManager, FileDisk, InMemoryDisk};
 pub use error::StorageError;
 pub use meta::StorageMeta;
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use partitioned::{
+    current_seed_region, with_seed_region, PartitionManifest, PartitionedStore, RegionTraffic,
+};
 pub use records::{AdjacencyEntry, AdjacencyList, FacilityRun, RecordPtr};
 pub use stats::IoStats;
 pub use store::{BufferConfig, EdgeEndpoints, FacilityInfo, MCNStore};
+pub use view::StoreView;

@@ -86,6 +86,27 @@ impl MCNStore {
         })
     }
 
+    /// Like [`MCNStore::build_on`], but pins the buffer pool's shard count
+    /// (see [`BufferPool::with_shards`]). The pinned count survives every
+    /// later [`MCNStore::set_buffer`] call; `shards == 1` gives the strict
+    /// global-LRU order of an unsharded pool.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build_on_with_shards(
+        graph: &MultiCostGraph,
+        disk: Arc<dyn DiskManager>,
+        buffer: BufferConfig,
+        shards: usize,
+    ) -> Result<Self, StorageError> {
+        let meta = build_store(graph, disk.as_ref())?;
+        let capacity = buffer.resolve(meta.data_pages as usize);
+        Ok(Self {
+            pool: BufferPool::with_shards(disk, capacity, shards),
+            meta,
+        })
+    }
+
     /// Builds a store for `graph` on a fresh in-memory disk — the default
     /// substrate for experiments.
     pub fn build_in_memory(
@@ -93,6 +114,18 @@ impl MCNStore {
         buffer: BufferConfig,
     ) -> Result<Self, StorageError> {
         Self::build_on(graph, Arc::new(InMemoryDisk::new()), buffer)
+    }
+
+    /// [`MCNStore::build_in_memory`] with a pinned buffer shard count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build_in_memory_with_shards(
+        graph: &MultiCostGraph,
+        buffer: BufferConfig,
+        shards: usize,
+    ) -> Result<Self, StorageError> {
+        Self::build_on_with_shards(graph, Arc::new(InMemoryDisk::new()), buffer, shards)
     }
 
     /// Opens an already-built store by reading the header from page 0.
@@ -103,6 +136,25 @@ impl MCNStore {
         let capacity = buffer.resolve(meta.data_pages as usize);
         Ok(Self {
             pool: BufferPool::new(disk, capacity),
+            meta,
+        })
+    }
+
+    /// [`MCNStore::open`] with a pinned buffer shard count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn open_with_shards(
+        disk: Arc<dyn DiskManager>,
+        buffer: BufferConfig,
+        shards: usize,
+    ) -> Result<Self, StorageError> {
+        let mut page = Page::zeroed();
+        disk.read_page(PageId::new(0), &mut page);
+        let meta = StorageMeta::decode(&page)?;
+        let capacity = buffer.resolve(meta.data_pages as usize);
+        Ok(Self {
+            pool: BufferPool::with_shards(disk, capacity, shards),
             meta,
         })
     }
@@ -159,7 +211,11 @@ impl MCNStore {
         &self.pool
     }
 
-    /// Changes the buffer capacity (clears the cache).
+    /// Changes the buffer capacity (clears the cache, carries the hit/miss
+    /// counters over). A shard count pinned at construction (the
+    /// `*_with_shards` constructors) is preserved across the rebuild — it is
+    /// **not** silently reset to the capacity-derived default; an unpinned
+    /// pool re-derives its count from the new capacity as it always has.
     pub fn set_buffer(&self, buffer: BufferConfig) {
         self.pool
             .set_capacity(buffer.resolve(self.meta.data_pages as usize));
@@ -374,6 +430,41 @@ mod tests {
         // still answers queries correctly.
         let adj = reopened.adjacency(NodeId::new(10));
         assert_eq!(adj.entries.len(), g.incident_edges(NodeId::new(10)).len());
+    }
+
+    #[test]
+    fn pinned_shards_survive_set_buffer() {
+        // The satellite contract: reconfiguring the buffer through the store
+        // must not silently drop a shard count pinned at construction.
+        let g = random_graph(6, 200, 100, 80);
+        let store = MCNStore::build_in_memory_with_shards(&g, BufferConfig::Pages(64), 1).unwrap();
+        assert_eq!(store.buffer().shard_count(), 1);
+        // The capacity-derived default for 64 pages would be 8 shards …
+        store.set_buffer(BufferConfig::Pages(64));
+        assert_eq!(store.buffer().shard_count(), 1);
+        // … and stays pinned across fractional reconfigurations too.
+        store.set_buffer(BufferConfig::Fraction(0.5));
+        assert_eq!(store.buffer().shard_count(), 1);
+        assert!(store.buffer().capacity() > 0);
+        // An unpinned store re-derives the count from the new capacity.
+        let unpinned = MCNStore::build_in_memory(&g, BufferConfig::Pages(4)).unwrap();
+        assert_eq!(unpinned.buffer().shard_count(), 1);
+        unpinned.set_buffer(BufferConfig::Pages(64));
+        assert_eq!(unpinned.buffer().shard_count(), 8);
+        // Queries still answer correctly after the rebuilds.
+        let adj = store.adjacency(NodeId::new(5));
+        assert_eq!(adj.entries.len(), g.incident_edges(NodeId::new(5)).len());
+    }
+
+    #[test]
+    fn open_with_shards_pins_like_build() {
+        let g = random_graph(7, 60, 30, 20);
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new());
+        let _ = MCNStore::build_on(&g, disk.clone(), BufferConfig::Pages(8)).unwrap();
+        let reopened = MCNStore::open_with_shards(disk, BufferConfig::Pages(32), 2).unwrap();
+        assert_eq!(reopened.buffer().shard_count(), 2);
+        reopened.set_buffer(BufferConfig::Pages(64));
+        assert_eq!(reopened.buffer().shard_count(), 2);
     }
 
     #[test]

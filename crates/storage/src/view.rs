@@ -1,0 +1,153 @@
+//! `StoreView`: the read API shared by every store shape.
+//!
+//! The expansion / query layers only ever *read* a network: adjacency
+//! records, facility runs, the two id indexes, and I/O counters. This trait
+//! captures exactly that surface so the whole query stack — LSA, CEA, top-k,
+//! the multi-query engine — runs unchanged (and byte-identically) over
+//! either a monolithic [`MCNStore`] or a region-sharded
+//! [`PartitionedStore`](crate::partitioned::PartitionedStore).
+//!
+//! The generic layers take `S: StoreView + ?Sized` with `MCNStore` as the
+//! default type parameter, so existing `Arc<MCNStore>` call sites compile
+//! unchanged while `Arc<PartitionedStore>` (or a trait object) slots in
+//! transparently.
+
+use crate::records::{AdjacencyList, FacilityRun};
+use crate::stats::IoStats;
+use crate::store::{BufferConfig, EdgeEndpoints, FacilityInfo, MCNStore};
+use mcn_graph::{EdgeId, FacilityId, NodeId};
+
+/// Read interface of a disk-resident multi-cost network, buffer management
+/// included. All implementations are immutable network views: two stores
+/// built from the same graph return identical records, whatever their page
+/// layout, which is what makes query results independent of partitioning.
+pub trait StoreView: Send + Sync + 'static {
+    /// Number of cost types `d`.
+    fn num_cost_types(&self) -> usize;
+
+    /// Number of nodes of the whole network.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of edges of the whole network.
+    fn num_edges(&self) -> usize;
+
+    /// Number of facilities of the whole network.
+    fn num_facilities(&self) -> usize;
+
+    /// Pages occupied by MCN data (summed over shards for a partitioned
+    /// store) — the basis for percentage-sized buffers.
+    fn data_pages(&self) -> usize;
+
+    /// Reads the adjacency record of `node`.
+    ///
+    /// # Panics
+    /// Panics if the node does not exist in the store.
+    fn adjacency(&self, node: NodeId) -> AdjacencyList;
+
+    /// Reads the facilities of a run referenced from an adjacency entry
+    /// returned by [`StoreView::adjacency`] **of the same store view** (a
+    /// partitioned store hands out globally rebased run pointers that only
+    /// it can resolve).
+    fn facilities_in_run(&self, run: &FacilityRun) -> Vec<(FacilityId, f64)>;
+
+    /// Facility-tree lookup.
+    fn facility_info(&self, facility: FacilityId) -> Option<FacilityInfo>;
+
+    /// Edge-index lookup.
+    fn edge_endpoints(&self, edge: EdgeId) -> Option<EdgeEndpoints>;
+
+    /// Snapshot of the I/O counters (aggregated over shards).
+    fn io_stats(&self) -> IoStats;
+
+    /// Empties every buffer pool and resets its hit/miss counters.
+    fn clear_buffers(&self);
+
+    /// Reconfigures the buffer capacity (applied per shard for a partitioned
+    /// store; clears the cached pages).
+    fn set_buffer(&self, buffer: BufferConfig);
+}
+
+impl StoreView for MCNStore {
+    fn num_cost_types(&self) -> usize {
+        MCNStore::num_cost_types(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        MCNStore::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        MCNStore::num_edges(self)
+    }
+
+    fn num_facilities(&self) -> usize {
+        MCNStore::num_facilities(self)
+    }
+
+    fn data_pages(&self) -> usize {
+        MCNStore::data_pages(self)
+    }
+
+    fn adjacency(&self, node: NodeId) -> AdjacencyList {
+        MCNStore::adjacency(self, node)
+    }
+
+    fn facilities_in_run(&self, run: &FacilityRun) -> Vec<(FacilityId, f64)> {
+        MCNStore::facilities_in_run(self, run)
+    }
+
+    fn facility_info(&self, facility: FacilityId) -> Option<FacilityInfo> {
+        MCNStore::facility_info(self, facility)
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> Option<EdgeEndpoints> {
+        MCNStore::edge_endpoints(self, edge)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        MCNStore::io_stats(self)
+    }
+
+    fn clear_buffers(&self) {
+        self.buffer().clear();
+    }
+
+    fn set_buffer(&self, buffer: BufferConfig) {
+        MCNStore::set_buffer(self, buffer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::{CostVec, GraphBuilder};
+    use std::sync::Arc;
+
+    const fn assert_object_safe(_: &dyn StoreView) {}
+
+    #[test]
+    fn mcn_store_implements_the_view() {
+        let mut b = GraphBuilder::new(2);
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let e = b.add_edge(a, c, CostVec::from_slice(&[1.0, 2.0])).unwrap();
+        b.add_facility(e, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let store = MCNStore::build_in_memory(&g, BufferConfig::Pages(4)).unwrap();
+        // Trait and inherent methods agree.
+        assert_eq!(StoreView::num_cost_types(&store), store.num_cost_types());
+        assert_eq!(StoreView::num_nodes(&store), 2);
+        let adj = StoreView::adjacency(&store, a);
+        assert_eq!(adj.entries.len(), 1);
+        let run = adj.entries[0].facilities.unwrap();
+        assert_eq!(StoreView::facilities_in_run(&store, &run).len(), 1);
+        assert!(StoreView::facility_info(&store, FacilityId::new(0)).is_some());
+        assert!(StoreView::edge_endpoints(&store, EdgeId::new(0)).is_some());
+        StoreView::clear_buffers(&store);
+        assert_eq!(StoreView::io_stats(&store).buffer_hits, 0);
+        // The trait is object safe: `Arc<dyn StoreView>` is a valid handle.
+        let dynamic: Arc<dyn StoreView> = Arc::new(store);
+        assert_object_safe(dynamic.as_ref());
+        assert_eq!(dynamic.num_edges(), 1);
+    }
+}
