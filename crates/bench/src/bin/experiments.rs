@@ -22,10 +22,12 @@
 //! failure.
 
 use mcn_bench::{
-    compare_gate, dimacs_workload, render_partition_table, render_table, render_throughput_table,
-    run_gate, run_partition, run_partition_on, run_throughput, Experiment, ExperimentConfig,
-    ExperimentTable, GateBaseline, GateConfig, PartitionConfig, PartitionTable, ThroughputConfig,
-    ThroughputTable, GATE_TOLERANCE, PARTITION_ID, THROUGHPUT_ID,
+    compare_gate, compare_label_gate, dimacs_graph, dimacs_workload, render_partition_table,
+    render_prep_table, render_table, render_throughput_table, run_gate, run_label_gate,
+    run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput, Experiment,
+    ExperimentConfig, ExperimentTable, GateBaseline, GateConfig, LabelBaseline, LabelGateConfig,
+    PartitionConfig, PartitionTable, PrepConfig, PrepReport, ThroughputConfig, ThroughputTable,
+    GATE_TOLERANCE, PARTITION_ID, PREP_ID, THROUGHPUT_ID,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -43,9 +45,11 @@ fn main() -> ExitCode {
     let mut config = ExperimentConfig::default();
     let mut throughput_config = ThroughputConfig::default();
     let mut partition_config = PartitionConfig::default();
+    let mut prep_config = PrepConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut with_throughput = false;
     let mut with_partition = false;
+    let mut with_prep = false;
     let mut dimacs: Option<String> = None;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
@@ -56,6 +60,42 @@ fn main() -> ExitCode {
             "all" => run_all = true,
             id if id == THROUGHPUT_ID => with_throughput = true,
             id if id == PARTITION_ID => with_partition = true,
+            id if id == PREP_ID => with_prep = true,
+            "--prep-nodes" => {
+                let list: String = expect_value(&args, &mut i, "--prep-nodes");
+                match parse_worker_list(&list) {
+                    Some(nodes) => prep_config.nodes = nodes,
+                    None => {
+                        eprintln!("--prep-nodes expects a comma-separated list, e.g. 250,500");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--prep-dims" => {
+                let list: String = expect_value(&args, &mut i, "--prep-dims");
+                match parse_worker_list(&list) {
+                    Some(dims) => prep_config.dims = dims,
+                    None => {
+                        eprintln!("--prep-dims expects a comma-separated list, e.g. 2,3,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--prep-pairs" => {
+                prep_config.pairs = expect_value(&args, &mut i, "--prep-pairs");
+            }
+            "--prep-targets" => {
+                prep_config.targets = expect_value(&args, &mut i, "--prep-targets");
+            }
+            "--prep-cache" => {
+                prep_config.cache_capacity = expect_value(&args, &mut i, "--prep-cache");
+            }
+            "--prep-batch" => {
+                prep_config.batch = expect_value(&args, &mut i, "--prep-batch");
+            }
+            "--no-prep-asserts" => {
+                prep_config.assert_improvements = false;
+            }
             "--regions" => {
                 let list: String = expect_value(&args, &mut i, "--regions");
                 match parse_worker_list(&list) {
@@ -131,8 +171,9 @@ fn main() -> ExitCode {
         selected = Experiment::all().to_vec();
         with_throughput = true;
         with_partition = true;
+        with_prep = true;
     }
-    if selected.is_empty() && !with_throughput && !with_partition {
+    if selected.is_empty() && !with_throughput && !with_partition && !with_prep {
         eprintln!("nothing to run");
         print_usage();
         return ExitCode::from(2);
@@ -142,8 +183,11 @@ fn main() -> ExitCode {
     // The partition experiment keeps its own (smaller) default scale — see
     // `PartitionConfig::default` — unless --scale is given explicitly.
     partition_config.seed = config.seed;
+    prep_config.seed = config.seed;
+    prep_config.workers = partition_config.workers;
     if let Some(path) = &dimacs {
         partition_config.source = path.clone();
+        prep_config.source = path.clone();
     }
 
     if out_dir.is_some() && check_dir.is_some() {
@@ -151,7 +195,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if let Some(dir) = check_dir {
-        return check_tables(&dir, &selected, with_throughput, with_partition);
+        return check_tables(&dir, &selected, with_throughput, with_partition, with_prep);
     }
 
     if let Some(dir) = &out_dir {
@@ -213,20 +257,42 @@ fn main() -> ExitCode {
             }
         }
     }
+    if with_prep {
+        let table = match &dimacs {
+            Some(path) => match dimacs_graph(path) {
+                Ok(graph) => run_prep_on_graph(&prep_config, &graph),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => run_prep(&prep_config),
+        };
+        println!("{}", render_prep_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_prep_table(dir, &table) {
+                eprintln!("failed to persist table {PREP_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
-/// `experiments gate --baseline FILE [--update]`: re-measure the
-/// deterministic mean logical reads of every figure point and fail on a
-/// > 2 % regression against the checked-in baseline (`--update` rewrites
-/// the baseline instead).
+/// `experiments gate --baseline FILE [--labels FILE] [--update]`:
+/// re-measure the deterministic mean logical reads of every figure point
+/// (and, with `--labels`, the prep experiment's mean label counts) and fail
+/// on a > 2 % regression against the checked-in baselines (`--update`
+/// rewrites them instead).
 fn run_gate_command(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
+    let mut labels_path: Option<PathBuf> = None;
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--baseline" => baseline_path = Some(expect_value(args, &mut i, "--baseline")),
+            "--labels" => labels_path = Some(expect_value(args, &mut i, "--labels")),
             "--update" => update = true,
             other => {
                 eprintln!("unknown gate flag: {other}");
@@ -235,44 +301,54 @@ fn run_gate_command(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let Some(path) = baseline_path else {
-        eprintln!("gate requires --baseline FILE");
+    if baseline_path.is_none() && labels_path.is_none() {
+        eprintln!("gate requires --baseline FILE and/or --labels FILE");
         return ExitCode::from(2);
-    };
-    let current = run_gate(&GateConfig::default());
-    if update {
-        if let Err(e) = std::fs::write(&path, current.to_json()) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut points = 0usize;
+    if let Some(path) = &baseline_path {
+        let current = run_gate(&GateConfig::default());
+        if update {
+            if let Err(e) = std::fs::write(path, current.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote gate baseline {}", path.display());
+        } else {
+            let baseline: GateBaseline = match load_baseline(path, GateBaseline::from_json) {
+                Ok(baseline) => baseline,
+                Err(code) => return code,
+            };
+            points += current.tables.iter().map(|t| t.points.len()).sum::<usize>();
+            violations.extend(compare_gate(&current, &baseline, GATE_TOLERANCE));
         }
-        eprintln!("wrote gate baseline {}", path.display());
+    }
+    if let Some(path) = &labels_path {
+        let current = run_label_gate(&LabelGateConfig::default());
+        if update {
+            if let Err(e) = std::fs::write(path, current.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote label baseline {}", path.display());
+        } else {
+            let baseline: LabelBaseline = match load_baseline(path, LabelBaseline::from_json) {
+                Ok(baseline) => baseline,
+                Err(code) => return code,
+            };
+            points += current.points.len();
+            violations.extend(compare_label_gate(&current, &baseline, GATE_TOLERANCE));
+        }
+    }
+    if update {
         return ExitCode::SUCCESS;
     }
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!(
-                "cannot read {} (create it with `experiments gate --baseline {} --update`): {e}",
-                path.display(),
-                path.display()
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let baseline = match GateBaseline::from_json(&text) {
-        Ok(baseline) => baseline,
-        Err(e) => {
-            eprintln!("cannot parse {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    let violations = compare_gate(&current, &baseline, GATE_TOLERANCE);
     if violations.is_empty() {
-        let points: usize = current.tables.iter().map(|t| t.points.len()).sum();
         println!(
-            "gate passed: {points} figure points within {:.0}% of {}",
-            GATE_TOLERANCE * 100.0,
-            path.display()
+            "gate passed: {points} points within {:.0}% of the baselines",
+            GATE_TOLERANCE * 100.0
         );
         ExitCode::SUCCESS
     } else {
@@ -282,6 +358,25 @@ fn run_gate_command(args: &[String]) -> ExitCode {
         eprintln!("{} gate violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+/// Reads and parses a gate baseline file, mapping failures to the exit
+/// code the gate command returns.
+fn load_baseline<T>(
+    path: &Path,
+    from_json: impl Fn(&str) -> Result<T, String>,
+) -> Result<T, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!(
+            "cannot read {} (create it with `experiments gate ... --update`): {e}",
+            path.display()
+        );
+        ExitCode::FAILURE
+    })?;
+    from_json(&text).map_err(|e| {
+        eprintln!("cannot parse {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
 }
 
 /// Parses a `--workers` list like `1,2,4` (every entry ≥ 1).
@@ -354,6 +449,18 @@ fn persist_partition_table(dir: &Path, table: &PartitionTable) -> Result<(), Str
     )
 }
 
+/// Writes the prep `table` to `DIR/prep.json` with the same read-back
+/// verification as the figure tables.
+fn persist_prep_table(dir: &Path, table: &PrepReport) -> Result<(), String> {
+    persist_report(
+        dir,
+        PREP_ID,
+        table,
+        PrepReport::to_json,
+        PrepReport::from_json,
+    )
+}
+
 /// Loads `DIR/<id>.json`, verifying that the stored id matches and that
 /// re-serializing the parsed value reproduces the file byte-for-byte (the
 /// serializer is deterministic, so byte equality across processes proves a
@@ -392,6 +499,7 @@ fn check_tables(
     selected: &[Experiment],
     with_throughput: bool,
     with_partition: bool,
+    with_prep: bool,
 ) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
@@ -439,6 +547,21 @@ fn check_tables(
             }
         }
     }
+    if with_prep {
+        match load_report(
+            dir,
+            PREP_ID,
+            PrepReport::to_json,
+            PrepReport::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_prep_table(&table)),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
         ExitCode::FAILURE
@@ -462,8 +585,10 @@ fn print_usage() {
         "usage: experiments [all | <ids>...] [--scale N] [--queries N] [--latency-ms MS] [--seed S]\n\
          \x20                [--batch N] [--workers LIST] [--out DIR] [--check DIR]\n\
          \x20                [--regions LIST] [--partition-workers N] [--dimacs PATH]\n\
-         \x20      experiments gate --baseline FILE [--update]\n\
-         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}\n\
+         \x20                [--prep-nodes LIST] [--prep-dims LIST] [--prep-pairs N]\n\
+         \x20                [--no-prep-asserts]\n\
+         \x20      experiments gate --baseline FILE [--labels FILE] [--update]\n\
+         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}\n\
          --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
          \x20              verify the written file re-parses to the in-memory table\n\
          --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
@@ -477,11 +602,21 @@ fn print_usage() {
          \x20              {PARTITION_ID} defaults to 0.2 per region shard)\n\
          --regions LIST region counts swept by {PARTITION_ID}, e.g. 1,2,4 (default)\n\
          --partition-workers N  worker threads of the {PARTITION_ID} engine (default 4)\n\
-         --dimacs PATH  run {PARTITION_ID} on a DIMACS .gr road network instead of the\n\
-         \x20              synthetic topology (d = 4 costs drawn around the arc weights,\n\
+         --dimacs PATH  run {PARTITION_ID}/{PREP_ID} on a DIMACS .gr road network instead\n\
+         \x20              of the synthetic topology (costs drawn around the arc weights,\n\
          \x20              clustered facilities placed on it)\n\
-         gate           re-measure mean logical page reads of every figure point and\n\
-         \x20              fail on >{:.0}% regression vs the checked-in baseline JSON",
+         --prep-nodes LIST  network sizes swept by {PREP_ID}, e.g. 250,500 (default)\n\
+         --prep-dims LIST   cost dimensions swept by {PREP_ID}, e.g. 2,3,4 (default)\n\
+         --prep-pairs N     source/target pairs measured per {PREP_ID} point (default 6)\n\
+         --prep-batch N     requests in the {PREP_ID} engine batch (default 72)\n\
+         --prep-targets N   distinct targets the {PREP_ID} batch cycles over (default 24)\n\
+         --prep-cache N     {PREP_ID} prep-table cache capacity (default 32; keep it at\n\
+         \x20              least the target count or the warm run degrades to cold)\n\
+         --no-prep-asserts  skip {PREP_ID}'s ≥2x-label-reduction and warm>cold QPS\n\
+         \x20              assertions (result-equality assertions always run)\n\
+         gate           re-measure mean logical page reads of every figure point\n\
+         \x20              (--baseline) and/or the {PREP_ID} experiment's mean label counts\n\
+         \x20              (--labels) and fail on >{:.0}% regression vs the checked-in JSON",
         Experiment::all()
             .iter()
             .map(|e| e.id())

@@ -13,8 +13,18 @@
 //! `experiments gate --baseline FILE` runs the comparison;
 //! `--update` rewrites the baseline after an intentional change (the diff
 //! then documents the cost shift in review).
+//!
+//! The same idea guards the ParetoPrep path-skyline subsystem: **labels
+//! created are deterministic** just like logical reads, so a sibling
+//! baseline (`labels.json`, see [`LabelBaseline`]) stores the mean label
+//! counts of the prep experiment's seeded pairs — exhaustive and prepped —
+//! and `experiments gate --labels FILE` fails when either regresses by
+//! more than the tolerance (a prepped regression means the pruning got
+//! weaker, an exhaustive one that the baseline search got more wasteful).
 
 use crate::experiments::{Experiment, ExperimentConfig};
+use crate::prep::{measure_labels, LabelMetrics};
+use mcn_gen::{generate_workload, CostDistribution, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Allowed relative increase of any point's logical reads (2 %).
@@ -189,6 +199,150 @@ pub fn compare_gate(
     violations
 }
 
+/// The fixed configuration of the label gate (like [`GateConfig`], stored
+/// in the baseline file and cross-checked before comparing numbers).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabelGateConfig {
+    /// Nodes of the seeded gate network.
+    pub nodes: usize,
+    /// Cost dimensions measured.
+    pub dims: Vec<usize>,
+    /// Source/target pairs per dimension.
+    pub pairs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LabelGateConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 150,
+            dims: vec![2, 3, 4],
+            pairs: 3,
+            seed: 2010,
+        }
+    }
+}
+
+/// One dimension's deterministic label cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabelGatePoint {
+    /// The point's label (e.g. `"d = 3"`).
+    pub label: String,
+    /// Mean labels created per pair by the exhaustive baseline.
+    pub exhaustive_labels: f64,
+    /// Mean labels created per pair by the ParetoPrep-pruned search.
+    pub prepped_labels: f64,
+}
+
+/// The checked-in label baseline: configuration plus one point per
+/// dimension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabelBaseline {
+    /// The configuration the numbers belong to.
+    pub config: LabelGateConfig,
+    /// One entry per swept dimension.
+    pub points: Vec<LabelGatePoint>,
+}
+
+impl LabelBaseline {
+    /// Serializes the baseline as indented JSON (the checked-in format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Re-measures the label gate: mean labels created per seeded pair, with
+/// and without prep, per cost dimension. Byte-identical skylines are
+/// asserted inside [`measure_labels`] on every run.
+pub fn run_label_gate(config: &LabelGateConfig) -> LabelBaseline {
+    let points = config
+        .dims
+        .iter()
+        .map(|&d| {
+            let workload = generate_workload(&WorkloadSpec {
+                nodes: config.nodes,
+                facilities: (config.nodes / 5).max(10),
+                cost_types: d,
+                distribution: CostDistribution::AntiCorrelated,
+                clusters: 4,
+                queries: 4,
+                seed: config.seed,
+            });
+            let metrics: LabelMetrics = measure_labels(&workload.graph, config.pairs, config.seed);
+            LabelGatePoint {
+                label: format!("d = {d}"),
+                exhaustive_labels: metrics.exhaustive_labels,
+                prepped_labels: metrics.prepped_labels,
+            }
+        })
+        .collect();
+    LabelBaseline {
+        config: config.clone(),
+        points,
+    }
+}
+
+/// Compares a fresh label-gate run against the checked-in baseline.
+/// Returns one message per violation (empty = gate passed); improvements
+/// never fail (refresh with `--update` to lock them in).
+pub fn compare_label_gate(
+    current: &LabelBaseline,
+    baseline: &LabelBaseline,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.config != baseline.config {
+        violations.push(format!(
+            "label gate configuration changed: baseline {:?} vs current {:?} \
+             (re-create the baseline)",
+            baseline.config, current.config
+        ));
+        return violations;
+    }
+    if current.points.len() != baseline.points.len() {
+        violations.push(format!(
+            "label gate point count changed: baseline {} vs current {} \
+             (re-create the baseline)",
+            baseline.points.len(),
+            current.points.len()
+        ));
+        return violations;
+    }
+    for (cp, bp) in current.points.iter().zip(&baseline.points) {
+        if cp.label != bp.label {
+            violations.push(format!(
+                "label gate point label changed: `{}` vs `{}`",
+                bp.label, cp.label
+            ));
+            continue;
+        }
+        for (kind, current_labels, baseline_labels) in [
+            ("exhaustive", cp.exhaustive_labels, bp.exhaustive_labels),
+            ("prepped", cp.prepped_labels, bp.prepped_labels),
+        ] {
+            if current_labels > baseline_labels * (1.0 + tolerance) {
+                violations.push(format!(
+                    "labels [{}] {kind}: {current_labels:.1} labels vs baseline \
+                     {baseline_labels:.1} (+{:.1}% > {:.0}% allowed)",
+                    cp.label,
+                    (current_labels / baseline_labels - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +413,78 @@ mod tests {
         let parsed = GateBaseline::from_json(&json).unwrap();
         assert_eq!(parsed, b);
         assert_eq!(parsed.to_json(), json);
+    }
+
+    /// A two-point label baseline for the comparison tests.
+    fn small_label_baseline() -> LabelBaseline {
+        LabelBaseline {
+            config: LabelGateConfig::default(),
+            points: vec![
+                LabelGatePoint {
+                    label: "d = 2".into(),
+                    exhaustive_labels: 500.0,
+                    prepped_labels: 120.0,
+                },
+                LabelGatePoint {
+                    label: "d = 3".into(),
+                    exhaustive_labels: 900.0,
+                    prepped_labels: 300.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn label_gate_passes_jitter_fails_regressions() {
+        let base = small_label_baseline();
+        assert!(compare_label_gate(&base, &base, GATE_TOLERANCE).is_empty());
+        let mut current = base.clone();
+        current.points[0].prepped_labels = 121.9; // +1.6 %
+        current.points[1].exhaustive_labels = 850.0; // improvement
+        assert!(compare_label_gate(&current, &base, GATE_TOLERANCE).is_empty());
+        current.points[1].prepped_labels = 320.0; // +6.7 %
+        let violations = compare_label_gate(&current, &base, GATE_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("d = 3"));
+        assert!(violations[0].contains("prepped"));
+    }
+
+    #[test]
+    fn label_gate_reports_config_and_shape_changes() {
+        let base = small_label_baseline();
+        let mut current = base.clone();
+        current.config.nodes = 99;
+        assert!(compare_label_gate(&current, &base, GATE_TOLERANCE)[0].contains("configuration"));
+        let mut current = base.clone();
+        current.points.pop();
+        assert!(compare_label_gate(&current, &base, GATE_TOLERANCE)[0].contains("point count"));
+        let mut current = base.clone();
+        current.points[0].label = "d = 9".into();
+        assert!(compare_label_gate(&current, &base, GATE_TOLERANCE)[0].contains("label changed"));
+    }
+
+    #[test]
+    fn label_baseline_round_trips_through_json() {
+        let b = small_label_baseline();
+        let json = b.to_json();
+        let parsed = LabelBaseline::from_json(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn run_label_gate_is_deterministic() {
+        let config = LabelGateConfig {
+            nodes: 80,
+            dims: vec![2],
+            pairs: 2,
+            seed: 2010,
+        };
+        let a = run_label_gate(&config);
+        let b = run_label_gate(&config);
+        assert_eq!(a, b);
+        assert!(a.points[0].prepped_labels <= a.points[0].exhaustive_labels);
+        assert!(a.points[0].prepped_labels > 0.0);
     }
 
     #[test]

@@ -25,18 +25,24 @@ pub mod experiments;
 pub mod gate;
 pub mod measure;
 pub mod partition;
+pub mod prep;
 pub mod report;
 pub mod requests;
 pub mod throughput;
 
 pub use experiments::{all_experiments, Experiment, ExperimentConfig};
 pub use gate::{
-    compare_gate, run_gate, GateBaseline, GateConfig, GatePoint, GateTable, GATE_TOLERANCE,
+    compare_gate, compare_label_gate, run_gate, run_label_gate, GateBaseline, GateConfig,
+    GatePoint, GateTable, LabelBaseline, LabelGateConfig, LabelGatePoint, GATE_TOLERANCE,
 };
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
 pub use partition::{
     dimacs_workload, render_partition_table, run_partition, run_partition_on, PartitionConfig,
     PartitionRow, PartitionTable, PARTITION_ID,
+};
+pub use prep::{
+    dimacs_graph, measure_labels, render_prep_table, run_prep, run_prep_on_graph, LabelMetrics,
+    PrepConfig, PrepReport, PrepRow, MIN_LABEL_REDUCTION, PREP_ID,
 };
 pub use report::{render_table, ExperimentTable, Row};
 pub use throughput::{

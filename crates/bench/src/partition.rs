@@ -25,6 +25,7 @@
 //! regions have pending work, so the pools stay hot — fewer physical reads,
 //! which (with a non-zero simulated read latency) is wall-clock QPS.
 
+use crate::report::json_safe;
 use mcn_engine::{QueryEngine, QueryRequest};
 use mcn_gen::{generate_workload, workload_on_graph, Workload, WorkloadSpec};
 use mcn_graph::{partition_graph, PartitionSpec, RegionId};
@@ -337,16 +338,6 @@ pub fn dimacs_workload(path: &str, config: &PartitionConfig) -> Result<Workload,
         ..WorkloadSpec::paper_default()
     };
     Ok(workload_on_graph(&graph, &spec))
-}
-
-/// Clamps a measurement into the finite range so persisted reports contain
-/// no `inf`/`NaN`.
-fn json_safe(v: f64) -> f64 {
-    if v.is_nan() {
-        0.0
-    } else {
-        v.clamp(f64::MIN, f64::MAX)
-    }
 }
 
 /// Renders a partition table in the fixed-width style of the other reports.

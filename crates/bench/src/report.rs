@@ -83,8 +83,8 @@ impl ExperimentTable {
 
 /// Clamps a measurement into the finite range so persisted reports contain
 /// no `inf`/`NaN` (a corrupted measurement maps to 0, an overflowed one to
-/// `f64::MAX` with its sign).
-fn json_safe(v: f64) -> f64 {
+/// `f64::MAX` with its sign). Shared by every report module in this crate.
+pub(crate) fn json_safe(v: f64) -> f64 {
     if v.is_nan() {
         0.0
     } else {

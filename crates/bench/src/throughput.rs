@@ -13,6 +13,7 @@
 //! * total logical page reads stay within 1 % of the serial run (they are in
 //!   fact exactly equal — logical reads are a pure function of the queries).
 
+use crate::report::json_safe;
 use mcn_engine::{QueryEngine, QueryRequest};
 use mcn_gen::{generate_workload, WorkloadSpec};
 use mcn_storage::{BufferConfig, DiskManager, InMemoryDisk, MCNStore};
@@ -222,16 +223,6 @@ pub fn run_throughput(config: &ThroughputConfig) -> ThroughputTable {
         config: config.clone(),
         queries: requests.len(),
         rows,
-    }
-}
-
-/// Clamps a measurement into the finite range so persisted reports contain
-/// no `inf`/`NaN`.
-fn json_safe(v: f64) -> f64 {
-    if v.is_nan() {
-        0.0
-    } else {
-        v.clamp(f64::MIN, f64::MAX)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The bounded worker pool scheduling a batch of queries.
 
+use crate::context::PathContext;
 use crate::request::{QueryOutcome, QueryRequest};
 use mcn_graph::RegionId;
 use mcn_storage::{with_seed_region, IoStats, MCNStore, StoreView};
@@ -133,6 +134,9 @@ impl AffineState {
 pub struct QueryEngine<S: StoreView + ?Sized = MCNStore> {
     workers: usize,
     store: Arc<S>,
+    /// Present when the engine serves [`QueryRequest::PathSkyline`]
+    /// requests: the graph plus the shared prep-table cache.
+    paths: Option<Arc<PathContext>>,
 }
 
 impl<S: StoreView + ?Sized> QueryEngine<S> {
@@ -142,7 +146,22 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
         Self {
             store,
             workers: workers.max(1),
+            paths: None,
         }
+    }
+
+    /// Attaches a [`PathContext`] so the engine can serve
+    /// [`QueryRequest::PathSkyline`] requests; batches then share the
+    /// context's prep-table cache across workers (and across batches, for a
+    /// warm cache). The context can be shared between engines.
+    pub fn with_path_context(mut self, paths: Arc<PathContext>) -> Self {
+        self.paths = Some(paths);
+        self
+    }
+
+    /// The attached path context, if any.
+    pub fn path_context(&self) -> Option<&Arc<PathContext>> {
+        self.paths.as_ref()
     }
 
     /// The shared store.
@@ -157,7 +176,7 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
 
     /// Executes one request on the calling thread (no pool involved).
     pub fn run_one(&self, request: &QueryRequest) -> QueryOutcome {
-        request.execute(&self.store)
+        request.execute_with(&self.store, self.paths.as_deref())
     }
 
     /// Executes `requests` across the worker pool and returns the outcomes
@@ -206,10 +225,13 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
         let affine_hits = AtomicU64::new(0);
         let affine_steals = AtomicU64::new(0);
 
+        let paths = self.paths.as_deref();
         let execute = |i: usize| {
             let outcome = match regions {
-                Some(tags) => with_seed_region(tags[i], || requests[i].execute(&self.store)),
-                None => requests[i].execute(&self.store),
+                Some(tags) => {
+                    with_seed_region(tags[i], || requests[i].execute_with(&self.store, paths))
+                }
+                None => requests[i].execute_with(&self.store, paths),
             };
             *slots[i].lock() = Some(outcome);
         };
@@ -544,5 +566,105 @@ mod tests {
         const _: () = assert_send_sync::<QueryEngine>();
         const _: () = assert_send_sync::<QueryEngine<PartitionedStore>>();
         const _: () = assert_send_sync::<QueryEngine<dyn StoreView>>();
+    }
+
+    /// A fixture with path-skyline requests mixed into the batch: sources
+    /// and targets cycled over a small pool so the prep cache gets reuse.
+    /// The network is deliberately smaller than [`WorkloadSpec::tiny`]:
+    /// anti-correlated Pareto path sets grow quickly with network diameter
+    /// and these tests also run in debug builds.
+    fn path_fixture() -> (Arc<MCNStore>, Arc<crate::PathContext>, Vec<QueryRequest>) {
+        let workload = generate_workload(&WorkloadSpec {
+            nodes: 250,
+            facilities: 60,
+            queries: 4,
+            ..WorkloadSpec::tiny(31)
+        });
+        let graph = Arc::new(workload.graph);
+        let store = Arc::new(
+            MCNStore::build_on(
+                &graph,
+                Arc::new(mcn_storage::InMemoryDisk::new()),
+                BufferConfig::Fraction(0.01),
+            )
+            .unwrap(),
+        );
+        let ctx = Arc::new(crate::PathContext::new(graph.clone(), 4));
+        let mut rng = ChaCha8Rng::seed_from_u64(310);
+        let n = graph.num_nodes();
+        let targets: Vec<mcn_graph::NodeId> = (0..3)
+            .map(|_| mcn_graph::NodeId::from(rng.gen_range(0..n)))
+            .collect();
+        let requests: Vec<QueryRequest> = (0..12)
+            .map(|i| QueryRequest::PathSkyline {
+                source: mcn_graph::NodeId::from(rng.gen_range(0..n)),
+                target: targets[i % targets.len()],
+            })
+            .collect();
+        (store, ctx, requests)
+    }
+
+    #[test]
+    fn path_skyline_batches_match_serial_byte_for_byte() {
+        let (store, ctx, requests) = path_fixture();
+        let serial = QueryEngine::new(store.clone(), 1)
+            .with_path_context(ctx.clone())
+            .run_batch(&requests);
+        ctx.clear_cache();
+        let concurrent = QueryEngine::new(store, 4)
+            .with_path_context(ctx.clone())
+            .run_batch(&requests);
+        assert_eq!(fingerprints(&serial), fingerprints(&concurrent));
+        for outcome in &serial.outcomes {
+            assert!(matches!(outcome.output, QueryOutput::Paths(_)));
+            assert!(!outcome.output.is_empty());
+        }
+        // Three distinct targets, twelve requests: the cache absorbed the
+        // repeats (some misses may duplicate under races, never exceed the
+        // request count).
+        let stats = ctx.cache_stats();
+        assert!(stats.hits > 0);
+        assert!(stats.misses < requests.len() as u64);
+    }
+
+    #[test]
+    fn warm_cache_reruns_are_fingerprint_identical() {
+        let (store, ctx, requests) = path_fixture();
+        let engine = QueryEngine::new(store, 2).with_path_context(ctx.clone());
+        let cold = engine.run_batch(&requests);
+        let warm = engine.run_batch(&requests);
+        assert_eq!(fingerprints(&cold), fingerprints(&warm));
+        // The second batch ran entirely from the cache.
+        assert!(ctx.cache_stats().hits >= requests.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "PathContext")]
+    fn path_skyline_without_context_panics() {
+        let (store, _) = fixture();
+        let engine = QueryEngine::new(store, 1);
+        let _ = engine.run_one(&QueryRequest::PathSkyline {
+            source: mcn_graph::NodeId::new(0),
+            target: mcn_graph::NodeId::new(1),
+        });
+    }
+
+    #[test]
+    fn path_requests_are_region_taggable() {
+        // PathSkyline requests carry their source as the location, so
+        // region-affine batches accept them like any other request kind.
+        let (store, ctx, requests) = path_fixture();
+        let tags = vec![RegionId::new(0); requests.len()];
+        let engine = QueryEngine::new(store, 2).with_path_context(ctx.clone());
+        let plain = engine.run_batch(&requests);
+        ctx.clear_cache();
+        let affine = engine.run_batch_with_regions(&requests, &tags, true);
+        assert_eq!(fingerprints(&plain), fingerprints(&affine));
+        for (request, outcome) in requests.iter().zip(&affine.outcomes) {
+            assert_eq!(request.kind(), "path-skyline");
+            assert_eq!(outcome.stats.algorithm, "MCPP-prep");
+            assert!(outcome.stats.candidates > 0);
+            assert_eq!(outcome.stats.result_size, outcome.output.len());
+        }
     }
 }

@@ -12,8 +12,8 @@
 //! expansion/core layers are `Send` over any store view. The engine adds the
 //! missing scheduling layer:
 //!
-//! * [`QueryRequest`] — a skyline, batch top-k, or incremental top-k query,
-//!   self-contained and cheap to clone.
+//! * [`QueryRequest`] — a skyline, batch top-k, incremental top-k, or
+//!   path-skyline query, self-contained and cheap to clone.
 //! * [`QueryEngine`] — a bounded pool of worker threads draining a batch of
 //!   requests FIFO; each query runs the ordinary single-query algorithm, so
 //!   per-query results are **identical** to serial execution no matter how
@@ -26,6 +26,11 @@
 //! * [`QueryOutcome`] / [`BatchStats`] — per-query statistics plus aggregate
 //!   throughput (QPS, consistent I/O deltas from the striped pool, affine
 //!   claim counters).
+//! * [`PathContext`] — attached via [`QueryEngine::with_path_context`],
+//!   serves [`QueryRequest::PathSkyline`] (multi-criteria Pareto path)
+//!   requests with the ParetoPrep-pruned search of `mcn-mcpp`, sharing a
+//!   bounded LRU cache of `mcn-prep` tables (one backward scan per target)
+//!   across workers and batches.
 //!
 //! # Determinism
 //!
@@ -40,8 +45,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod context;
 mod engine;
 mod request;
 
+pub use context::PathContext;
 pub use engine::{BatchResult, BatchStats, QueryEngine};
 pub use request::{QueryOutcome, QueryOutput, QueryRequest};

@@ -1,10 +1,12 @@
 //! Query requests and their outcomes.
 
+use crate::context::PathContext;
 use mcn_core::{
     skyline_query, topk_query, Algorithm, QueryStats, SkylineFacility, TopKEntry, TopKIter,
     WeightedSum,
 };
-use mcn_graph::NetworkLocation;
+use mcn_graph::{NetworkLocation, NodeId};
+use mcn_mcpp::{pareto_paths_prepped, ParetoLabel};
 use mcn_storage::StoreView;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -43,6 +45,16 @@ pub enum QueryRequest {
         /// LSA or CEA.
         algorithm: Algorithm,
     },
+    /// A multi-criteria path-skyline query (MCPP, Section II-D): every
+    /// Pareto-optimal path from `source` to `target`, served by the
+    /// ParetoPrep-pruned search over a [`PathContext`]'s cached prep
+    /// tables. Requires [`crate::QueryEngine::with_path_context`].
+    PathSkyline {
+        /// The path's start node.
+        source: NodeId,
+        /// The path's destination node — the prep-table cache key.
+        target: NodeId,
+    },
 }
 
 impl QueryRequest {
@@ -52,22 +64,45 @@ impl QueryRequest {
             QueryRequest::Skyline { .. } => "skyline",
             QueryRequest::TopK { .. } => "topk",
             QueryRequest::TopKIncremental { .. } => "topk-inc",
+            QueryRequest::PathSkyline { .. } => "path-skyline",
         }
     }
 
     /// The query location — what region-affine scheduling tags a request by
-    /// (via `PartitionMap::region_of_location`).
+    /// (via `PartitionMap::region_of_location`). Path-skyline queries are
+    /// tagged by their source node: that is where the forward search starts
+    /// expanding.
     pub fn location(&self) -> NetworkLocation {
         match self {
             QueryRequest::Skyline { location, .. }
             | QueryRequest::TopK { location, .. }
             | QueryRequest::TopKIncremental { location, .. } => *location,
+            QueryRequest::PathSkyline { source, .. } => NetworkLocation::Node(*source),
         }
     }
 
     /// Executes the request against `store` (any [`StoreView`] — monolithic
     /// or region-partitioned) on the calling thread.
+    ///
+    /// # Panics
+    /// Panics on a [`QueryRequest::PathSkyline`] request: path queries need
+    /// a [`PathContext`]; use [`QueryRequest::execute_with`] (or an engine
+    /// built with [`crate::QueryEngine::with_path_context`]).
     pub fn execute<S: StoreView + ?Sized>(&self, store: &Arc<S>) -> QueryOutcome {
+        self.execute_with(store, None)
+    }
+
+    /// Executes the request against `store`, serving path-skyline requests
+    /// from `paths` (the graph + prep-table cache).
+    ///
+    /// # Panics
+    /// Panics on a [`QueryRequest::PathSkyline`] request when `paths` is
+    /// `None`.
+    pub fn execute_with<S: StoreView + ?Sized>(
+        &self,
+        store: &Arc<S>,
+        paths: Option<&PathContext>,
+    ) -> QueryOutcome {
         let started = Instant::now();
         let (output, stats) = match self {
             QueryRequest::Skyline {
@@ -114,6 +149,28 @@ impl QueryRequest {
                     }
                 }
             }
+            QueryRequest::PathSkyline { source, target } => {
+                let ctx = paths.expect(
+                    "PathSkyline requests need a PathContext — build the engine with \
+                     QueryEngine::with_path_context",
+                );
+                let prep = ctx.table_for(*target);
+                let run = pareto_paths_prepped(ctx.graph(), *source, *target, &prep);
+                // Path queries never touch the paged store; map the label
+                // accounting onto the query-stats fields the reports read:
+                // candidates = labels created, dominance checks = labels
+                // discarded by pruning or node-level dominance.
+                let stats = QueryStats {
+                    algorithm: "MCPP-prep".to_string(),
+                    nodes_settled: run.stats.nodes_settled as usize,
+                    candidates: run.stats.labels_created as usize,
+                    dominance_checks: (run.stats.labels_pruned + run.stats.labels_dominated)
+                        as usize,
+                    result_size: run.paths.len(),
+                    ..QueryStats::default()
+                };
+                (QueryOutput::Paths(run.paths), stats)
+            }
         };
         QueryOutcome {
             output,
@@ -130,6 +187,8 @@ pub enum QueryOutput {
     Skyline(Vec<SkylineFacility>),
     /// Top-k entries in ascending aggregate-cost order.
     TopK(Vec<TopKEntry>),
+    /// Pareto-optimal paths in lexicographic cost order.
+    Paths(Vec<ParetoLabel>),
 }
 
 impl QueryOutput {
@@ -138,6 +197,7 @@ impl QueryOutput {
         match self {
             QueryOutput::Skyline(v) => v.len(),
             QueryOutput::TopK(v) => v.len(),
+            QueryOutput::Paths(v) => v.len(),
         }
     }
 
@@ -169,6 +229,19 @@ impl QueryOutput {
                     let _ = write!(out, "{}@{:016x}@", e.facility.raw(), e.score.to_bits());
                     for c in e.costs.iter() {
                         let _ = write!(out, "{:016x},", c.to_bits());
+                    }
+                    out.push(';');
+                }
+            }
+            QueryOutput::Paths(v) => {
+                out.push_str("paths:");
+                for p in v {
+                    for c in p.costs.iter() {
+                        let _ = write!(out, "{:016x},", c.to_bits());
+                    }
+                    out.push('@');
+                    for e in &p.edges {
+                        let _ = write!(out, "{},", e.raw());
                     }
                     out.push(';');
                 }

@@ -14,14 +14,24 @@
 //!   style of Skriver & Andersen / Brumbaugh-Smith & Shier);
 //! * to cross-validate the per-cost shortest path distances used elsewhere:
 //!   the component-wise minimum over the Pareto path set equals the vector of
-//!   single-criterion shortest-path distances.
+//!   single-criterion shortest-path distances;
+//! * as the serving layer for **pruned** path-skyline queries:
+//!   [`pareto_paths_prepped`] accelerates the search with the per-cost lower
+//!   bounds of a `mcn-prep` [`PrepTable`](mcn_prep::PrepTable) (ParetoPrep,
+//!   Shekelyan et al.), producing byte-identical skylines with a fraction of
+//!   the labels; [`PathStats`] makes the reduction measurable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod label;
+pub mod stats;
 
-pub use label::{componentwise_minimum, pareto_paths, ParetoLabel};
+pub use label::{
+    componentwise_minimum, pareto_paths, pareto_paths_exhaustive, pareto_paths_prepped,
+    pareto_paths_with_stats, ParetoLabel, PathSkylineResult,
+};
+pub use stats::PathStats;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,231 @@
+//! A bounded LRU cache of [`PrepTable`]s keyed by target node.
+
+use crate::table::PrepTable;
+use mcn_graph::{MultiCostGraph, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Counters of one [`PrepCache`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the backward scan.
+    pub misses: u64,
+    /// Tables evicted to respect the capacity.
+    pub evictions: u64,
+}
+
+impl PrepCacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheInner {
+    /// Target node → table. Tables are shared out as `Arc`s so an eviction
+    /// never invalidates a query that is still using the table.
+    map: HashMap<u32, Arc<PrepTable>>,
+    /// Recency order, least-recently-used first.
+    order: VecDeque<u32>,
+    stats: PrepCacheStats,
+}
+
+/// A bounded, thread-safe LRU cache of [`PrepTable`]s keyed by **target
+/// node** — the unit of reuse of ParetoPrep precomputation: one backward
+/// scan serves every path-skyline query towards the same target, whatever
+/// the source.
+///
+/// Concurrent misses for the *same* target may both run the scan (the lock
+/// is not held while scanning); the scan is deterministic, so both arrive
+/// at identical tables and the second insert is dropped. This trades a
+/// little duplicate work under a cold cache for never serialising query
+/// workers behind one scan.
+pub struct PrepCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PrepCache {
+    /// Creates a cache holding at most `capacity` tables (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                stats: PrepCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Maximum number of tables retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tables currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True iff no table is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> PrepCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops every cached table and resets the counters (the "cold cache"
+    /// starting condition of the `prep` experiment).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.stats = PrepCacheStats::default();
+    }
+
+    /// Returns the cached table for `target`, if any, refreshing its
+    /// recency.
+    pub fn get(&self, target: NodeId) -> Option<Arc<PrepTable>> {
+        let mut inner = self.inner.lock();
+        let hit = inner.map.get(&target.raw()).cloned();
+        match hit {
+            Some(table) => {
+                inner.stats.hits += 1;
+                touch(&mut inner.order, target.raw());
+                Some(table)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a table under its target key, evicting the least-recently
+    /// used entries over capacity. An existing entry for the same target is
+    /// kept (scans are deterministic, so both tables are identical).
+    pub fn insert(&self, table: Arc<PrepTable>) -> Arc<PrepTable> {
+        let key = table.target().raw();
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.map.get(&key).cloned() {
+            touch(&mut inner.order, key);
+            return existing;
+        }
+        inner.map.insert(key, table.clone());
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            let victim = inner
+                .order
+                .pop_front()
+                .expect("over-capacity cache has an LRU entry");
+            inner.map.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        table
+    }
+
+    /// The cache's main entry point: returns the table for `target`,
+    /// running (and caching) the backward scan on a miss.
+    pub fn get_or_build(&self, graph: &MultiCostGraph, target: NodeId) -> Arc<PrepTable> {
+        if let Some(table) = self.get(target) {
+            return table;
+        }
+        // Scan outside the lock so other targets proceed concurrently.
+        let table = Arc::new(PrepTable::build(graph, target));
+        self.insert(table)
+    }
+}
+
+/// Moves `key` to the most-recently-used end of the order queue.
+fn touch(order: &mut VecDeque<u32>, key: u32) {
+    if let Some(pos) = order.iter().position(|&k| k == key) {
+        order.remove(pos);
+    }
+    order.push_back(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_graph::{CostVec, GraphBuilder};
+
+    fn line(n: u32) -> MultiCostGraph {
+        let mut b = GraphBuilder::new(2);
+        let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(i as f64, 0.0)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], CostVec::from_slice(&[1.0, 2.0]))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn get_or_build_caches_per_target() {
+        let g = line(6);
+        let cache = PrepCache::new(4);
+        let a = cache.get_or_build(&g, NodeId::new(3));
+        let b = cache.get_or_build(&g, NodeId::new(3));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let g = line(8);
+        let cache = PrepCache::new(2);
+        cache.get_or_build(&g, NodeId::new(0));
+        cache.get_or_build(&g, NodeId::new(1));
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_build(&g, NodeId::new(0));
+        cache.get_or_build(&g, NodeId::new(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // 0 survived, 1 was evicted.
+        assert!(cache.get(NodeId::new(0)).is_some());
+        assert!(cache.get(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counters() {
+        let g = line(4);
+        let cache = PrepCache::new(2);
+        cache.get_or_build(&g, NodeId::new(1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), PrepCacheStats::default());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_first_table() {
+        let g = line(4);
+        let cache = PrepCache::new(2);
+        let first = cache.insert(Arc::new(PrepTable::build(&g, NodeId::new(2))));
+        let second = cache.insert(Arc::new(PrepTable::build(&g, NodeId::new(2))));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        const _: () = assert_send_sync::<PrepCache>();
+    }
+}

@@ -18,7 +18,10 @@
 //!   scheduling batches of skyline/top-k queries over one shared store.
 //! * [`skyline`] — classic main-memory skyline algorithms (BNL, SFS, D&C).
 //! * [`topk`] — the threshold-algorithm family (TA / NRA) over sorted lists.
-//! * [`mcpp`] — multi-criteria Pareto (skyline) path computation.
+//! * [`mcpp`] — multi-criteria Pareto (skyline) path computation, with a
+//!   ParetoPrep-pruned variant.
+//! * [`prep`] — ParetoPrep precomputation: backward per-cost lower-bound
+//!   scans and the prep-table cache behind the engine's path queries.
 //! * [`gen`] — synthetic workload generation matching the paper's Section VI.
 //! * [`io`] — loaders/writers for common road-network file formats.
 
@@ -31,6 +34,7 @@ pub use mcn_gen as gen;
 pub use mcn_graph as graph;
 pub use mcn_io as io;
 pub use mcn_mcpp as mcpp;
+pub use mcn_prep as prep;
 pub use mcn_skyline as skyline;
 pub use mcn_storage as storage;
 pub use mcn_topk as topk;

@@ -1,0 +1,231 @@
+//! ParetoPrep equivalence: the pruned path-skyline pipeline must produce
+//! **byte-identical** results to the exhaustive label-correcting baseline —
+//! per dimension, under the concurrent engine, and across cold/warm prep
+//! caches — while the prep lower bounds stay admissible against the true
+//! per-cost shortest distances.
+//!
+//! Fingerprints ([`QueryOutput::fingerprint`]) encode the raw IEEE-754 bits
+//! of every path cost plus the full edge sequences, so equality here is
+//! bit-exact result equality, not approximate agreement.
+
+use mcn::engine::{PathContext, QueryEngine, QueryOutput, QueryRequest};
+use mcn::gen::{generate_workload, WorkloadSpec};
+use mcn::graph::{CostVec, GraphBuilder, MultiCostGraph, NodeId};
+use mcn::mcpp::{
+    componentwise_minimum, pareto_paths_exhaustive, pareto_paths_prepped, pareto_paths_with_stats,
+};
+use mcn::prep::PrepTable;
+use mcn::storage::{BufferConfig, MCNStore};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A seeded workload graph small enough for the exhaustive baseline to
+/// stay fast in debug builds (anti-correlated Pareto sets grow steeply
+/// with d and network diameter).
+fn path_workload(d: usize, seed: u64) -> MultiCostGraph {
+    let nodes = if d >= 4 { 120 } else { 190 };
+    generate_workload(&WorkloadSpec {
+        nodes,
+        facilities: 30,
+        cost_types: d,
+        queries: 3,
+        ..WorkloadSpec::tiny(seed)
+    })
+    .graph
+}
+
+fn seeded_pairs(graph: &MultiCostGraph, pairs: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.num_nodes();
+    (0..pairs)
+        .map(|_| {
+            let s = NodeId::from(rng.gen_range(0..n));
+            let mut t = NodeId::from(rng.gen_range(0..n));
+            if t == s {
+                t = NodeId::from((t.raw() as usize + 1) % n);
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+fn paths_fingerprint(paths: Vec<mcn::mcpp::ParetoLabel>) -> String {
+    QueryOutput::Paths(paths).fingerprint()
+}
+
+#[test]
+fn pruned_path_skylines_match_exhaustive_at_every_dimension() {
+    for d in [2usize, 3, 4] {
+        let graph = path_workload(d, 40 + d as u64);
+        for (s, t) in seeded_pairs(&graph, 3, 400 + d as u64) {
+            let exhaustive = pareto_paths_exhaustive(&graph, s, t);
+            let early = pareto_paths_with_stats(&graph, s, t);
+            let prep = PrepTable::build(&graph, t);
+            let prepped = pareto_paths_prepped(&graph, s, t, &prep);
+            let reference = paths_fingerprint(exhaustive.paths);
+            assert_eq!(
+                reference,
+                paths_fingerprint(early.paths),
+                "d = {d}: early termination diverged at {s} → {t}"
+            );
+            assert_eq!(
+                reference,
+                paths_fingerprint(prepped.paths),
+                "d = {d}: prep pruning diverged at {s} → {t}"
+            );
+            // Both optimisations strictly reduce work on these workloads.
+            assert!(early.stats.labels_created < exhaustive.stats.labels_created);
+            assert!(prepped.stats.labels_created <= early.stats.labels_created);
+        }
+    }
+}
+
+/// The engine fixture: a store + path context over one seeded graph, and a
+/// batch mixing path-skyline requests with classic store-bound queries.
+fn engine_fixture() -> (Arc<MCNStore>, Arc<PathContext>, Vec<QueryRequest>) {
+    let graph = Arc::new(path_workload(3, 77));
+    let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Pages(32)).unwrap());
+    let ctx = Arc::new(PathContext::new(graph.clone(), 8));
+    let mut rng = ChaCha8Rng::seed_from_u64(7700);
+    let n = graph.num_nodes();
+    let targets: Vec<NodeId> = (0..4).map(|_| NodeId::from(rng.gen_range(0..n))).collect();
+    let requests: Vec<QueryRequest> = (0..16)
+        .map(|i| {
+            if i % 4 == 3 {
+                // Interleave a store-bound skyline query: path and facility
+                // requests must coexist in one batch.
+                QueryRequest::Skyline {
+                    location: mcn::graph::NetworkLocation::Node(NodeId::from(rng.gen_range(0..n))),
+                    algorithm: mcn::core::Algorithm::Cea,
+                }
+            } else {
+                QueryRequest::PathSkyline {
+                    source: NodeId::from(rng.gen_range(0..n)),
+                    target: targets[i % targets.len()],
+                }
+            }
+        })
+        .collect();
+    (store, ctx, requests)
+}
+
+fn fingerprints(result: &mcn::engine::BatchResult) -> Vec<String> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| o.output.fingerprint())
+        .collect()
+}
+
+#[test]
+fn engine_path_batches_are_byte_identical_serial_vs_four_workers() {
+    let (store, ctx, requests) = engine_fixture();
+    let serial = QueryEngine::new(store.clone(), 1)
+        .with_path_context(ctx.clone())
+        .run_batch(&requests);
+    ctx.clear_cache();
+    let concurrent = QueryEngine::new(store, 4)
+        .with_path_context(ctx)
+        .run_batch(&requests);
+    assert_eq!(fingerprints(&serial), fingerprints(&concurrent));
+    assert!(serial
+        .outcomes
+        .iter()
+        .any(|o| matches!(o.output, QueryOutput::Paths(_))));
+    assert!(serial
+        .outcomes
+        .iter()
+        .any(|o| matches!(o.output, QueryOutput::Skyline(_))));
+}
+
+#[test]
+fn warm_cache_batches_are_fingerprint_equal_to_cold() {
+    let (store, ctx, requests) = engine_fixture();
+    let engine = QueryEngine::new(store, 2).with_path_context(ctx.clone());
+    ctx.clear_cache();
+    let cold = engine.run_batch(&requests);
+    let cold_misses = ctx.cache_stats().misses;
+    let warm = engine.run_batch(&requests);
+    assert_eq!(fingerprints(&cold), fingerprints(&warm));
+    // The warm batch rebuilt nothing.
+    assert_eq!(ctx.cache_stats().misses, cold_misses);
+    assert!(ctx.cache_stats().hits > 0);
+    // Repeat-run determinism: a third run still agrees.
+    assert_eq!(
+        fingerprints(&warm),
+        fingerprints(&engine.run_batch(&requests))
+    );
+}
+
+/// Builds a small connected network for the admissibility property.
+fn property_network(d: usize, nodes: usize, extra: &[(u16, u16)], seed: u64) -> MultiCostGraph {
+    let mut lcg = seed | 1;
+    let mut next_cost = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((lcg >> 33) % 1000) as f64 / 100.0 + 0.1
+    };
+    let mut b = GraphBuilder::new(d);
+    let ids: Vec<NodeId> = (0..nodes).map(|i| b.add_node(i as f64, 0.0)).collect();
+    for w in ids.windows(2) {
+        let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+        b.add_edge(w[0], w[1], CostVec::from_slice(&costs)).unwrap();
+    }
+    for &(a, c) in extra {
+        let a = ids[a as usize % nodes];
+        let c = ids[c as usize % nodes];
+        if a == c {
+            continue;
+        }
+        let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+        b.add_edge(a, c, CostVec::from_slice(&costs)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+// Admissibility, cross-checked against ground truth: the prep bound of
+// every node equals the component-wise minimum over the exhaustive Pareto
+// path set — i.e. the vector of true per-cost shortest distances — up to
+// float summation order (1e-9 relative, the same margin the pruned search
+// deflates by). (A doc comment would break the vendored `proptest!`
+// matcher, hence the plain comment.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prep_bounds_match_componentwise_minima(
+        d in 2usize..=4,
+        nodes in 3usize..=16,
+        extra in proptest::collection::vec((0u16..64, 0u16..64), 0..8),
+        target_sel in 0u16..64,
+        seed in any::<u64>(),
+    ) {
+        let graph = property_network(d, nodes, &extra, seed);
+        let target = NodeId::from(target_sel as usize % nodes);
+        let prep = PrepTable::build(&graph, target);
+        for source in (0..nodes).map(NodeId::from) {
+            let paths = pareto_paths_exhaustive(&graph, source, target).paths;
+            prop_assert!(!paths.is_empty(), "backbone keeps the network connected");
+            let minima = componentwise_minimum(&paths).expect("non-empty set");
+            let bound = prep.bound(source);
+            for i in 0..d {
+                let tolerance = minima[i].abs() * 1e-9 + 1e-12;
+                // Admissible: never above the true shortest distance …
+                prop_assert!(
+                    bound[i] <= minima[i] + tolerance,
+                    "bound {} exceeds true distance {} (cost {i}, {source} → {target})",
+                    bound[i],
+                    minima[i]
+                );
+                // … and tight: it *is* that distance.
+                prop_assert!(
+                    bound[i] >= minima[i] - tolerance,
+                    "bound {} below true distance {} (cost {i}, {source} → {target})",
+                    bound[i],
+                    minima[i]
+                );
+            }
+        }
+    }
+}
