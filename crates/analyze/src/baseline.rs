@@ -1,0 +1,140 @@
+//! The checked-in findings baseline, mirroring the bench gates
+//! (`logical_reads.json` / `labels.json`): accepted findings live in
+//! `analyze-baseline.json`, new findings fail the check, and entries that
+//! no longer fire fail it too — the baseline must stay *minimal* so it
+//! documents exactly the accepted debt, nothing more.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Finding;
+
+/// One accepted finding. Line numbers are stored for human readers but
+/// matching ignores them — pure reformatting must not churn the baseline —
+/// and keys on `(file, rule, excerpt)` as a multiset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Line at the time the baseline was written (informational).
+    pub line: u32,
+    /// Trimmed source line the finding pointed at.
+    pub excerpt: String,
+}
+
+/// The baseline file contents.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Accepted findings, sorted by (file, line, rule).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of diffing current findings against the baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline — these fail the check.
+    pub new: Vec<Finding>,
+    /// Baseline entries that no longer fire — stale, must be removed.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline that accepts exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            entries: findings
+                .iter()
+                .map(|f| BaselineEntry {
+                    file: f.file.clone(),
+                    rule: f.rule.clone(),
+                    line: f.line,
+                    excerpt: f.excerpt.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes in the same pretty-JSON style as the bench baselines.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline file.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Diffs `findings` against this baseline. Matching is a multiset over
+    /// `(file, rule, excerpt)`: every finding must consume one baseline
+    /// entry and every entry must be consumed.
+    pub fn diff(&self, findings: &[Finding]) -> Diff {
+        let mut unconsumed: Vec<&BaselineEntry> = self.entries.iter().collect();
+        let mut diff = Diff::default();
+        for f in findings {
+            let slot = unconsumed
+                .iter()
+                .position(|e| e.file == f.file && e.rule == f.rule && e.excerpt == f.excerpt);
+            match slot {
+                Some(i) => {
+                    unconsumed.swap_remove(i);
+                }
+                None => diff.new.push(f.clone()),
+            }
+        }
+        diff.stale = unconsumed.into_iter().cloned().collect();
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            rule: rule.to_string(),
+            line,
+            excerpt: excerpt.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_findings(&[finding("a.rs", "float-eq", 3, "x == 0.0")]);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn clean_diff_when_findings_match() {
+        let f = [finding("a.rs", "float-eq", 3, "x == 0.0")];
+        let b = Baseline::from_findings(&f);
+        // Line drift does not churn the baseline.
+        let moved = [finding("a.rs", "float-eq", 9, "x == 0.0")];
+        let d = b.diff(&moved);
+        assert!(d.new.is_empty() && d.stale.is_empty());
+    }
+
+    #[test]
+    fn new_and_stale_are_reported() {
+        let b = Baseline::from_findings(&[finding("a.rs", "float-eq", 3, "x == 0.0")]);
+        let d = b.diff(&[finding("b.rs", "raw-spawn", 1, "thread::spawn(…)")]);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.new[0].file, "b.rs");
+        assert_eq!(d.stale[0].file, "a.rs");
+    }
+
+    #[test]
+    fn multiset_matching_counts_duplicates() {
+        let one = finding("a.rs", "float-eq", 3, "x == 0.0");
+        let b = Baseline::from_findings(&[one.clone()]);
+        // Two identical findings, one baseline entry: one is new.
+        let d = b.diff(&[one.clone(), one]);
+        assert_eq!(d.new.len(), 1);
+        assert!(d.stale.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! `mcn-analyze`: static enforcement of the invariants this reproduction
+//! lives by — byte-identical skylines and strict lock discipline.
+//!
+//! The regression gates (`logical_reads.json`, `labels.json`) catch
+//! determinism bugs *after* they ship; this pass catches the bug classes
+//! at their source, mechanically, before review: locks held across
+//! physical reads (the PR 3 incident), hash-order iteration feeding
+//! fingerprints or baselines, exact float comparison on deflated bounds
+//! (the PR 5 incident), panicking workers, ad-hoc threads, and
+//! concurrency-facing types without compile-time `Send`/`Sync` proof.
+//!
+//! The analysis is dependency-free: a hand-rolled lexer (no syn/quote —
+//! the build environment is offline) plus token-pattern rules in
+//! [`rules`]. Findings diff against the checked-in
+//! `analyze-baseline.json` exactly like the bench gates; suppression is a
+//! reasoned comment:
+//!
+//! ```text
+//! // mcn-lint: allow(lock-across-io, reason = "file handle is the lock")
+//! ```
+//!
+//! Run it with `cargo run -p mcn-analyze -- check`.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use baseline::{Baseline, Diff};
+use workspace::Workspace;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name (see [`rules::ALL_RULES`]).
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Trimmed source line, for the report and baseline matching.
+    pub excerpt: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.excerpt)
+    }
+}
+
+/// The outcome of a full `check` run.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Every finding that survived allow-suppression, baseline included.
+    pub findings: Vec<Finding>,
+    /// The diff against the baseline; clean iff both sides are empty.
+    pub diff: Diff,
+    /// Files analyzed, for the report.
+    pub files: usize,
+}
+
+impl CheckOutcome {
+    /// True when there is nothing new and nothing stale.
+    pub fn is_clean(&self) -> bool {
+        self.diff.new.is_empty() && self.diff.stale.is_empty()
+    }
+}
+
+/// Runs the full pass: load the workspace at `root`, run every rule, diff
+/// against the baseline at `baseline_path` (a missing file is an empty
+/// baseline). With `update`, rewrites the baseline to accept exactly the
+/// current findings instead of diffing.
+pub fn check(root: &Path, baseline_path: &Path, update: bool) -> Result<CheckOutcome, String> {
+    let ws = Workspace::load(root).map_err(|e| format!("loading workspace: {e}"))?;
+    let findings = rules::run_all(&ws);
+    let files = ws.files.len();
+    if update {
+        let b = Baseline::from_findings(&findings);
+        fs::write(baseline_path, b.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        return Ok(CheckOutcome {
+            diff: Diff::default(),
+            findings,
+            files,
+        });
+    }
+    let baseline = match fs::read_to_string(baseline_path) {
+        Ok(text) => Baseline::from_json(&text)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+    let diff = baseline.diff(&findings);
+    Ok(CheckOutcome {
+        findings,
+        diff,
+        files,
+    })
+}

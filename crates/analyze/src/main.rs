@@ -1,0 +1,111 @@
+//! CLI driver: `mcn-analyze check [--root PATH] [--baseline PATH]
+//! [--update]`.
+//!
+//! Exit codes: `0` clean, `1` new or stale findings (or an I/O error),
+//! `2` usage error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mcn_analyze::workspace::Workspace;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mcn-analyze check [--root PATH] [--baseline PATH] [--update]\n\
+         \n\
+         Runs the workspace invariant lints and diffs the findings against\n\
+         the checked-in baseline (crates/analyze/analyze-baseline.json).\n\
+         --update rewrites the baseline to accept the current findings."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("check") {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--update" => update = true,
+            _ => return usage(),
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| Workspace::discover_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("mcn-analyze: no workspace root found (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = baseline.unwrap_or_else(|| root.join("crates/analyze/analyze-baseline.json"));
+
+    let outcome = match mcn_analyze::check(&root, &baseline, update) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mcn-analyze: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if update {
+        println!(
+            "mcn-analyze: baseline rewritten with {} finding(s) over {} file(s)",
+            outcome.findings.len(),
+            outcome.files
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &outcome.diff.new {
+        println!("{f}");
+    }
+    for e in &outcome.diff.stale {
+        println!(
+            "{}: stale baseline entry for {} (`{}`) no longer fires — remove it \
+             or rerun with --update",
+            e.file, e.rule, e.excerpt
+        );
+    }
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &outcome.findings {
+        *per_rule.entry(f.rule.as_str()).or_default() += 1;
+    }
+    let summary: Vec<String> = per_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
+    println!(
+        "mcn-analyze: {} file(s), {} finding(s){} — {} new, {} stale",
+        outcome.files,
+        outcome.findings.len(),
+        if summary.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", summary.join(", "))
+        },
+        outcome.diff.new.len(),
+        outcome.diff.stale.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

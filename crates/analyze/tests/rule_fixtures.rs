@@ -1,0 +1,440 @@
+//! Per-rule fixture tests: every rule gets one embedded snippet proving it
+//! fires and one proving `// mcn-lint: allow(...)` suppresses it, plus the
+//! acceptance scenario — deliberately reintroducing the PR 3
+//! lock-across-physical-read pattern and watching rule 1 catch it.
+
+use mcn_analyze::rules::{self, run_all};
+use mcn_analyze::source::SourceFile;
+use mcn_analyze::workspace::Workspace;
+use mcn_analyze::Finding;
+
+/// Runs every rule over a single in-memory file and keeps `rule`'s hits.
+fn findings_for(rule: &str, path: &str, text: &str) -> Vec<Finding> {
+    let ws = Workspace::from_files(vec![SourceFile::from_str(path, text)]);
+    run_all(&ws)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------- rule 1
+
+/// The PR 3 incident, re-created: a buffer-pool shard guard bound via
+/// `.lock()` held across `DiskManager::read_page`. Rule 1 must catch it.
+#[test]
+fn lock_across_io_catches_the_pr3_pattern() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ACROSS_IO,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "impl Pool {\n",
+            "    fn with_page(&self, id: u32) -> Page {\n",
+            "        let shard = self.shards[id as usize % N].lock();\n",
+            "        let mut page = Page::default();\n",
+            "        self.disk.read_page(id, &mut page);\n",
+            "        page\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 5);
+    assert!(hits[0].message.contains("`shard`"));
+    assert!(hits[0].excerpt.contains("read_page"));
+}
+
+#[test]
+fn lock_across_io_respects_drop_and_block_end() {
+    let clean = findings_for(
+        rules::RULE_LOCK_ACROSS_IO,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "impl Pool {\n",
+            "    fn ok_drop(&self, id: u32) {\n",
+            "        let shard = self.shard.lock();\n",
+            "        drop(shard);\n",
+            "        self.disk.read_page(id, &mut Page::default());\n",
+            "    }\n",
+            "    fn ok_scope(&self, id: u32) {\n",
+            "        {\n",
+            "            let shard = self.shard.lock();\n",
+            "            shard.touch();\n",
+            "        }\n",
+            "        self.disk.read_page(id, &mut Page::default());\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn lock_across_io_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ACROSS_IO,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "impl Disk {\n",
+            "    fn read(&self, id: u32) {\n",
+            "        let mut file = self.file.write();\n",
+            "        // mcn-lint: allow(lock-across-io, reason = \"the file handle is the lock\")\n",
+            "        file.read_exact(&mut self.buf);\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// A helper that feeds `fingerprint()` iterating a HashMap unsorted.
+#[test]
+fn nondet_iteration_fires_on_sensitive_path() {
+    let hits = findings_for(
+        rules::RULE_NONDET_ITERATION,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "fn summarize(counts: &HashMap<u32, u64>) -> String {\n",
+            "    let mut out = String::new();\n",
+            "    for (k, v) in counts.iter() {\n",
+            "        out.push_str(&format!(\"{k}={v}\"));\n",
+            "    }\n",
+            "    fingerprint(&out)\n",
+            "}\n",
+            "fn fingerprint(s: &str) -> String { s.to_string() }\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 4);
+    assert!(hits[0].message.contains("summarize"));
+}
+
+#[test]
+fn nondet_iteration_skips_sorted_and_insensitive() {
+    // Sorted in the same statement: fine.
+    let sorted = findings_for(
+        rules::RULE_NONDET_ITERATION,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "use std::collections::{BTreeMap, HashMap};\n",
+            "fn summarize(counts: &HashMap<u32, u64>) -> String {\n",
+            "    let ordered: BTreeMap<_, _> = counts.iter().collect();\n",
+            "    fingerprint(&format!(\"{ordered:?}\"))\n",
+            "}\n",
+            "fn fingerprint(s: &str) -> String { s.to_string() }\n",
+        ),
+    );
+    assert!(sorted.is_empty(), "{sorted:?}");
+
+    // Sorted later in the function: fine.
+    let sorted_later = findings_for(
+        rules::RULE_NONDET_ITERATION,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "fn summarize(counts: &HashMap<u32, u64>) -> String {\n",
+            "    let mut pairs: Vec<_> = counts.iter().collect();\n",
+            "    pairs.sort();\n",
+            "    fingerprint(&format!(\"{pairs:?}\"))\n",
+            "}\n",
+            "fn fingerprint(s: &str) -> String { s.to_string() }\n",
+        ),
+    );
+    assert!(sorted_later.is_empty(), "{sorted_later:?}");
+
+    // Same iteration, but nothing downstream reaches a sink: fine.
+    let insensitive = findings_for(
+        rules::RULE_NONDET_ITERATION,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "fn tally(counts: &HashMap<u32, u64>) -> u64 {\n",
+            "    let mut total = 0;\n",
+            "    for v in counts.values() {\n",
+            "        total += v;\n",
+            "    }\n",
+            "    total\n",
+            "}\n",
+        ),
+    );
+    assert!(insensitive.is_empty(), "{insensitive:?}");
+}
+
+#[test]
+fn nondet_iteration_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_NONDET_ITERATION,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "fn summarize(counts: &HashMap<u32, u64>) -> u64 {\n",
+            "    // mcn-lint: allow(nondet-iteration, reason = \"sum is order-independent\")\n",
+            "    let total: u64 = counts.values().sum();\n",
+            "    fingerprint(total)\n",
+            "}\n",
+            "fn fingerprint(t: u64) -> u64 { t }\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ---------------------------------------------------------------- rule 3
+
+#[test]
+fn float_eq_fires_on_literal_comparison() {
+    let hits = findings_for(
+        rules::RULE_FLOAT_EQ,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "fn degenerate(cost: f64) -> bool {\n",
+            "    cost == 0.0 || cost != -1.5\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+}
+
+#[test]
+fn float_eq_ignores_integers_and_test_code() {
+    let hits = findings_for(
+        rules::RULE_FLOAT_EQ,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "fn count_ok(n: u32) -> bool { n == 0 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn exact_is_fine_here() { assert!(super::f() == 0.25); }\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn float_eq_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_FLOAT_EQ,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "fn degenerate(cost: f64) -> bool {\n",
+            "    // mcn-lint: allow(float-eq, reason = \"division-by-zero guard, exact on purpose\")\n",
+            "    cost == 0.0\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ---------------------------------------------------------------- rule 4
+
+#[test]
+fn panic_in_worker_fires_inside_spawn() {
+    let hits = findings_for(
+        rules::RULE_PANIC_IN_WORKER,
+        "crates/engine/src/scratch.rs",
+        concat!(
+            "fn run(s: &Scope) {\n",
+            "    s.spawn(|| {\n",
+            "        let item = queue.pop().unwrap();\n",
+            "        if item.poisoned { panic!(\"bad item\"); }\n",
+            "    });\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|f| f.message.contains("`unwrap`")));
+    assert!(hits.iter().any(|f| f.message.contains("`panic`")));
+}
+
+#[test]
+fn panic_in_worker_only_in_worker_crates_and_spawns() {
+    // Same code outside engine/expansion: not a worker, no finding.
+    let other_crate = findings_for(
+        rules::RULE_PANIC_IN_WORKER,
+        "crates/storage/src/scratch.rs",
+        "fn run(s: &Scope) { s.spawn(|| { queue.pop().unwrap(); }); }\n",
+    );
+    assert!(other_crate.is_empty(), "{other_crate:?}");
+
+    // unwrap outside any spawn in a worker crate: rule 4 stays quiet.
+    let outside_spawn = findings_for(
+        rules::RULE_PANIC_IN_WORKER,
+        "crates/engine/src/scratch.rs",
+        "fn setup() { let cfg = load().unwrap(); use_cfg(cfg); }\n",
+    );
+    assert!(outside_spawn.is_empty(), "{outside_spawn:?}");
+}
+
+#[test]
+fn panic_in_worker_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_PANIC_IN_WORKER,
+        "crates/engine/src/scratch.rs",
+        concat!(
+            "fn run(s: &Scope) {\n",
+            "    s.spawn(|| {\n",
+            "        // mcn-lint: allow(panic-in-worker, reason = \"channel closed means shutdown\")\n",
+            "        let item = queue.pop().unwrap();\n",
+            "        drop(item);\n",
+            "    });\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ---------------------------------------------------------------- rule 5
+
+#[test]
+fn raw_spawn_fires_outside_driver_modules() {
+    let hits = findings_for(
+        rules::RULE_RAW_SPAWN,
+        "crates/storage/src/scratch.rs",
+        concat!(
+            "use std::thread;\n",
+            "fn prefetch() {\n",
+            "    thread::spawn(|| warm_cache());\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn raw_spawn_allows_driver_engine_and_tests() {
+    let driver = findings_for(
+        rules::RULE_RAW_SPAWN,
+        "crates/expansion/src/driver.rs",
+        "fn spawn_worker() { std::thread::spawn(|| work()); }\n",
+    );
+    assert!(driver.is_empty(), "{driver:?}");
+
+    let test_code = findings_for(
+        rules::RULE_RAW_SPAWN,
+        "crates/storage/src/scratch.rs",
+        concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn hammer() { std::thread::scope(|s| { s.spawn(|| ()); }); }\n",
+            "}\n",
+        ),
+    );
+    assert!(test_code.is_empty(), "{test_code:?}");
+}
+
+#[test]
+fn raw_spawn_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_RAW_SPAWN,
+        "crates/storage/src/scratch.rs",
+        concat!(
+            "fn prefetch() {\n",
+            "    // mcn-lint: allow(raw-spawn, reason = \"fire-and-forget warmup, no accounting needed\")\n",
+            "    std::thread::spawn(|| warm_cache());\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ---------------------------------------------------------------- rule 6
+
+#[test]
+fn missing_send_sync_assert_fires_without_nontest_assert() {
+    let hits = findings_for(
+        rules::RULE_MISSING_SEND_SYNC,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct Cache {\n",
+            "    inner: Mutex<Inner>,\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    const fn assert_send_sync<T: Send + Sync>() {}\n",
+            "    const _: () = assert_send_sync::<super::Cache>();\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("`Cache`"));
+}
+
+#[test]
+fn missing_send_sync_assert_satisfied_by_const_assert() {
+    let hits = findings_for(
+        rules::RULE_MISSING_SEND_SYNC,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct Cache {\n",
+            "    inner: Mutex<Inner>,\n",
+            "}\n",
+            "const fn assert_send_sync<T: Send + Sync>() {}\n",
+            "const _: () = assert_send_sync::<Cache>();\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn missing_send_sync_assert_covers_arc_shared_plain_types() {
+    // `Table` holds no lock itself but is shared via Arc<Table>: flagged.
+    let hits = findings_for(
+        rules::RULE_MISSING_SEND_SYNC,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct Table { rows: Vec<u64> }\n",
+            "pub struct Cache { t: Arc<Table> }\n",
+            "const fn assert_send_sync<T: Send + Sync>() {}\n",
+            "const _: () = assert_send_sync::<Cache>();\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("`Table`"));
+    // Plain structs nobody shares stay unflagged.
+    let plain = findings_for(
+        rules::RULE_MISSING_SEND_SYNC,
+        "crates/scratch/src/lib.rs",
+        "pub struct Point { x: f64, y: f64 }\n",
+    );
+    assert!(plain.is_empty(), "{plain:?}");
+}
+
+#[test]
+fn missing_send_sync_assert_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_MISSING_SEND_SYNC,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "// mcn-lint: allow(missing-send-sync-assert, reason = \"single-thread debug helper\")\n",
+            "pub struct Probe {\n",
+            "    inner: Mutex<Vec<u64>>,\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ------------------------------------------------------------- directives
+
+#[test]
+fn malformed_allow_is_a_finding_itself() {
+    let ws = Workspace::from_files(vec![SourceFile::from_str(
+        "crates/scratch/src/lib.rs",
+        "// mcn-lint: allow(float-eq)\nfn f(v: f64) -> bool { v == 0.0 }\n",
+    )]);
+    let findings = run_all(&ws);
+    assert!(
+        findings.iter().any(|f| f.rule == "allow-syntax"),
+        "{findings:?}"
+    );
+    // And the malformed directive must NOT suppress the real finding.
+    assert!(
+        findings.iter().any(|f| f.rule == rules::RULE_FLOAT_EQ),
+        "{findings:?}"
+    );
+}

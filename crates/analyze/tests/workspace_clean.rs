@@ -1,0 +1,56 @@
+//! The self-check the CI job relies on: the real workspace must analyze
+//! clean against the checked-in baseline, and the baseline must be
+//! *minimal* — every entry still fires (a stale entry is a failure, so
+//! fixed debt cannot silently linger in the accepted list).
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_against_minimal_baseline() {
+    let root = workspace_root();
+    let baseline = root.join("crates/analyze/analyze-baseline.json");
+    let outcome = mcn_analyze::check(root, &baseline, false).expect("check runs");
+    assert!(outcome.files > 20, "workspace walk looks truncated");
+    let new: Vec<String> = outcome.diff.new.iter().map(|f| f.to_string()).collect();
+    assert!(
+        outcome.diff.new.is_empty(),
+        "new findings not in the baseline:\n{}",
+        new.join("\n")
+    );
+    let stale: Vec<String> = outcome
+        .diff
+        .stale
+        .iter()
+        .map(|e| format!("{}: {} (`{}`)", e.file, e.rule, e.excerpt))
+        .collect();
+    assert!(
+        outcome.diff.stale.is_empty(),
+        "baseline entries that no longer fire (baseline must stay minimal):\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn every_allow_in_the_tree_names_a_real_rule() {
+    use mcn_analyze::rules::ALL_RULES;
+    use mcn_analyze::workspace::Workspace;
+    let ws = Workspace::load(workspace_root()).expect("workspace loads");
+    for file in &ws.files {
+        for allow in &file.allows {
+            assert!(
+                ALL_RULES.contains(&allow.rule.as_str()),
+                "{}:{}: allow() names unknown rule `{}`",
+                file.path,
+                allow.line,
+                allow.rule
+            );
+        }
+    }
+}

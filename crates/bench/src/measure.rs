@@ -97,7 +97,9 @@ impl PointMeasurement {
     pub fn speedup(&self, latency: f64) -> f64 {
         let cea = self.cea.charged_seconds(latency);
         let lsa = self.lsa.charged_seconds(latency);
+        // mcn-lint: allow(float-eq, reason = "charged_seconds returns an exact 0.0 sentinel for unmeasured points; the guard is intentional")
         if cea == 0.0 {
+            // mcn-lint: allow(float-eq, reason = "same exact-zero sentinel as the cea guard above")
             if lsa == 0.0 {
                 1.0
             } else {

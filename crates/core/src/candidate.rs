@@ -6,7 +6,7 @@
 //! vector is complete and (for the skyline) it can be reported immediately.
 
 use mcn_graph::{dominance::pinned_dominates_partial, CostVec, FacilityId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Partially known costs of a candidate facility.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,10 +47,16 @@ impl Candidate {
 }
 
 /// The candidate set `CS` of the paper, keyed by facility.
+///
+/// Ordered by facility id on purpose: [`CandidateSet::iter`] feeds skyline
+/// emission (leftover resolution) and the shrinking-stage facility index,
+/// so iteration order must be identical run-to-run for the fingerprints
+/// and gate baselines to stay byte-stable. Candidate sets are small, so
+/// the `BTreeMap` costs nothing measurable over a hash map.
 #[derive(Clone, Debug, Default)]
 pub struct CandidateSet {
     d: usize,
-    candidates: HashMap<FacilityId, Candidate>,
+    candidates: BTreeMap<FacilityId, Candidate>,
     /// Highest number of simultaneous candidates, for statistics.
     peak: usize,
     /// Total number of distinct facilities ever admitted.
@@ -62,7 +68,7 @@ impl CandidateSet {
     pub fn new(d: usize) -> Self {
         Self {
             d,
-            candidates: HashMap::new(),
+            candidates: BTreeMap::new(),
             peak: 0,
             admitted: 0,
         }
@@ -223,6 +229,16 @@ mod tests {
         cs.record(FacilityId::new(0), 1, 5.0, true);
         cs.record(FacilityId::new(1), 1, 5.0, true);
         assert!(cs.all_know_cost(1));
+    }
+
+    #[test]
+    fn iteration_is_ordered_by_facility() {
+        let mut cs = CandidateSet::new(1);
+        for i in [5u32, 1, 9, 3] {
+            cs.record(FacilityId::new(i), 0, f64::from(i), true);
+        }
+        let order: Vec<u32> = cs.iter().map(|c| c.facility.raw()).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
     }
 
     #[test]

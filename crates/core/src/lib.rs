@@ -69,3 +69,9 @@ pub mod prelude {
     pub use crate::stats::QueryStats;
     pub use crate::topk::{baseline_topk, topk_query, TopKEntry, TopKIter, TopKResult};
 }
+
+/// Compile-time thread-safety proof: instantiated in a `const _` next to
+/// each shared type, so the build fails the moment a field change makes the
+/// type lose `Send` (the `missing-send-sync-assert` lint requires one such
+/// assertion per concurrency-facing type, outside `cfg(test)`).
+pub(crate) const fn assert_send<T: Send>() {}

@@ -109,6 +109,12 @@ pub struct SkylineSearch<A: NetworkAccess, D: ExpansionDriver = SerialDriver<A>>
     started: Instant,
 }
 
+// Thread-safety contract: searches must be movable onto `QueryEngine`
+// worker threads at every driver/access combination.
+const _: () = crate::assert_send::<SkylineSearch<DirectAccess>>();
+const _: () = crate::assert_send::<SkylineSearch<SharedAccess>>();
+const _: () = crate::assert_send::<SkylineSearch<DirectAccess, ParallelDriver>>();
+
 impl<S: StoreView + ?Sized> SkylineSearch<DirectAccess<S>> {
     /// Starts an LSA skyline computation at `location`. The store may be
     /// monolithic (`MCNStore`, the default) or any other [`StoreView`],
@@ -505,13 +511,6 @@ mod tests {
     use crate::test_support::{paper_figure1_store, random_store, skyline_oracle};
     use mcn_graph::NodeId;
     use mcn_storage::BufferConfig;
-
-    /// Compile-time thread-safety contract: searches must be movable onto
-    /// `QueryEngine` worker threads at every driver/access combination.
-    const fn assert_send<T: Send>() {}
-    const _: () = assert_send::<SkylineSearch<DirectAccess>>();
-    const _: () = assert_send::<SkylineSearch<SharedAccess>>();
-    const _: () = assert_send::<SkylineSearch<DirectAccess, ParallelDriver>>();
 
     fn result_set(r: &SkylineResult) -> Vec<(FacilityId, Vec<u64>)> {
         let mut v: Vec<(FacilityId, Vec<u64>)> = r

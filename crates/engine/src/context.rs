@@ -20,6 +20,8 @@ pub struct PathContext {
     cache: PrepCache,
 }
 
+const _: () = crate::assert_send_sync::<PathContext>();
+
 impl PathContext {
     /// Creates a context over `graph` whose cache keeps at most
     /// `cache_capacity` prep tables (clamped to ≥ 1).
@@ -77,11 +79,5 @@ mod tests {
         ctx.clear_cache();
         assert!(ctx.cache().is_empty());
         assert_eq!(ctx.graph().num_nodes(), 2);
-    }
-
-    #[test]
-    fn context_is_send_and_sync() {
-        const fn assert_send_sync<T: Send + Sync>() {}
-        const _: () = assert_send_sync::<PathContext>();
     }
 }

@@ -3,7 +3,7 @@
 use crate::context::PathContext;
 use crate::request::{QueryOutcome, QueryRequest};
 use mcn_graph::RegionId;
-use mcn_storage::{with_seed_region, IoStats, MCNStore, StoreView};
+use mcn_storage::{with_seed_region, IoStats, MCNStore, PartitionedStore, StoreView};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -138,6 +138,10 @@ pub struct QueryEngine<S: StoreView + ?Sized = MCNStore> {
     /// requests: the graph plus the shared prep-table cache.
     paths: Option<Arc<PathContext>>,
 }
+
+const _: () = crate::assert_send_sync::<QueryEngine>();
+const _: () = crate::assert_send_sync::<QueryEngine<PartitionedStore>>();
+const _: () = crate::assert_send_sync::<QueryEngine<dyn StoreView>>();
 
 impl<S: StoreView + ?Sized> QueryEngine<S> {
     /// Creates an engine over `store` with `workers` threads (clamped to at
@@ -558,14 +562,6 @@ mod tests {
             result.stats.affine_hits,
             (requests.len() - distinct.len()) as u64
         );
-    }
-
-    #[test]
-    fn engine_is_send_and_sync() {
-        const fn assert_send_sync<T: Send + Sync>() {}
-        const _: () = assert_send_sync::<QueryEngine>();
-        const _: () = assert_send_sync::<QueryEngine<PartitionedStore>>();
-        const _: () = assert_send_sync::<QueryEngine<dyn StoreView>>();
     }
 
     /// A fixture with path-skyline requests mixed into the batch: sources

@@ -54,6 +54,8 @@ pub struct DirectAccess<S: StoreView + ?Sized = MCNStore> {
     store: Arc<S>,
 }
 
+const _: () = crate::assert_send_sync::<DirectAccess>();
+
 impl<S: StoreView + ?Sized> DirectAccess<S> {
     /// Creates a pass-through accessor over `store`.
     pub fn new(store: Arc<S>) -> Self {
@@ -117,6 +119,8 @@ pub struct SharedAccess<S: StoreView + ?Sized = MCNStore> {
     stats: Mutex<SharingStats>,
     store: Arc<S>,
 }
+
+const _: () = crate::assert_send_sync::<SharedAccess>();
 
 impl<S: StoreView + ?Sized> SharedAccess<S> {
     /// Creates a sharing accessor over `store` with an empty cache.

@@ -136,6 +136,8 @@ pub struct Expansion<A: NetworkAccess> {
     stats: ExpansionStats,
 }
 
+const _: () = crate::assert_send_sync::<Expansion<crate::DirectAccess>>();
+
 impl<A: NetworkAccess> Expansion<A> {
     /// Creates an expansion for `cost_type` starting from the given seeds.
     ///

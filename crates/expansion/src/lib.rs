@@ -31,3 +31,9 @@ pub use access::{DirectAccess, NetworkAccess, SharedAccess, SharingStats};
 pub use driver::{ExpansionDriver, ParallelDriver, SerialDriver};
 pub use expansion::{Expansion, ExpansionStats, ExpansionStep, FacilityMode};
 pub use seeds::{seeds_for_location, Seeds};
+
+/// Compile-time thread-safety proof: instantiated in a `const _` next to
+/// each shared type, so the build fails the moment a field change makes the
+/// type lose `Send`/`Sync` (the `missing-send-sync-assert` lint requires
+/// one such assertion per concurrency-facing type, outside `cfg(test)`).
+pub(crate) const fn assert_send_sync<T: Send + Sync>() {}

@@ -30,6 +30,8 @@ pub struct MultiCostGraph {
     pub(crate) edge_facilities: Vec<Vec<FacilityId>>,
 }
 
+const _: () = crate::assert_send_sync::<MultiCostGraph>();
+
 /// One entry of a node's adjacency list: the incident edge, the node at the
 /// other end, and the edge's cost vector.
 #[derive(Clone, Copy, Debug, PartialEq)]

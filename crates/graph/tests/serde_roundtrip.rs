@@ -158,63 +158,55 @@ fn whole_graph_roundtrips_structurally() {
     assert_eq!(to_string(&pretty), json);
 }
 
-/// Partitions a `width × height` grid and asserts that the resulting
-/// `PartitionMap` survives a lossless JSON round-trip with every invariant
-/// intact. (Body lives outside the `proptest!` block: the vendored macro's
-/// expansion depth grows with the statement count.)
-fn check_partition_roundtrip(width: usize, height: usize, seed: u64) {
-    let regions = 1 + (seed % 8) as usize;
-    let mut b = GraphBuilder::new(1);
-    let ids: Vec<_> = (0..width * height)
-        .map(|i| b.add_node((i % width) as f64, (i / width) as f64))
-        .collect();
-    for y in 0..height {
-        for x in 0..width {
-            if x + 1 < width {
-                b.add_edge(
-                    ids[y * width + x],
-                    ids[y * width + x + 1],
-                    CostVec::from_slice(&[1.0]),
-                )
-                .unwrap();
-            }
-            if y + 1 < height {
-                b.add_edge(
-                    ids[y * width + x],
-                    ids[(y + 1) * width + x],
-                    CostVec::from_slice(&[1.0]),
-                )
-                .unwrap();
-            }
-        }
-    }
-    let g = b.build().unwrap();
-    let map = mcn_graph::partition_graph(&g, &mcn_graph::PartitionSpec { regions, seed });
-    map.validate().expect("fresh map is consistent");
-    let parsed = roundtrip(&map);
-    assert_eq!(parsed, map);
-    parsed.validate().expect("parsed map is consistent");
-    // The public JSON helpers agree with the raw serializer path.
-    let via_helper = mcn_graph::PartitionMap::from_json(&map.to_json()).unwrap();
-    assert_eq!(via_helper, map);
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    // `PartitionMap` round-trips losslessly: partition a random-ish grid
-    // (side lengths and seed drawn by proptest), serialize, parse back and
-    // re-validate. (Line comments only: the vendored proptest! macro cannot
-    // match doc-comment attributes before #[test].)
+    /// `PartitionMap` round-trips losslessly: partition a `width × height`
+    /// grid (side lengths and seed drawn by proptest), serialize, parse
+    /// back and re-validate, with every invariant intact along the way.
     #[test]
     fn partition_map_roundtrips(
         width in 2usize..14,
         height in 2usize..10,
         seed in any::<u64>(),
     ) {
-        check_partition_roundtrip(width, height, seed);
+        let regions = 1 + (seed % 8) as usize;
+        let mut b = GraphBuilder::new(1);
+        let ids: Vec<_> = (0..width * height)
+            .map(|i| b.add_node((i % width) as f64, (i / width) as f64))
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    b.add_edge(
+                        ids[y * width + x],
+                        ids[y * width + x + 1],
+                        CostVec::from_slice(&[1.0]),
+                    )
+                    .unwrap();
+                }
+                if y + 1 < height {
+                    b.add_edge(
+                        ids[y * width + x],
+                        ids[(y + 1) * width + x],
+                        CostVec::from_slice(&[1.0]),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let map = mcn_graph::partition_graph(&g, &mcn_graph::PartitionSpec { regions, seed });
+        map.validate().expect("fresh map is consistent");
+        let parsed = roundtrip(&map);
+        prop_assert_eq!(&parsed, &map);
+        parsed.validate().expect("parsed map is consistent");
+        // The public JSON helpers agree with the raw serializer path.
+        let via_helper = mcn_graph::PartitionMap::from_json(&map.to_json()).unwrap();
+        prop_assert_eq!(via_helper, map);
     }
 
+    /// Region identifiers survive serialization over the whole raw range.
     #[test]
     fn region_ids_roundtrip(raw in 0u32..u32::MAX) {
         prop_assert_eq!(roundtrip(&mcn_graph::RegionId::new(raw)), mcn_graph::RegionId::new(raw));

@@ -54,6 +54,8 @@ pub struct PrepCache {
     inner: Mutex<CacheInner>,
 }
 
+const _: () = crate::assert_send_sync::<PrepCache>();
+
 impl PrepCache {
     /// Creates a cache holding at most `capacity` tables (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
@@ -223,9 +225,56 @@ mod tests {
         assert_eq!(cache.len(), 1);
     }
 
+    /// Hammers one cache from many threads with overlapping targets so
+    /// inserts and evictions race constantly (capacity 3, 8 live targets),
+    /// then checks the three invariants that must survive the churn: the
+    /// size bound always holds, the counters reconcile with the work done,
+    /// and every table handed out or retained is byte-identical to a fresh
+    /// single-threaded build (the scan is deterministic, so racing builders
+    /// must be indistinguishable).
     #[test]
-    fn cache_is_send_and_sync() {
-        const fn assert_send_sync<T: Send + Sync>() {}
-        const _: () = assert_send_sync::<PrepCache>();
+    fn concurrent_churn_keeps_cache_bounded_and_deterministic() {
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 200;
+        const TARGETS: u64 = 8;
+        let g = line(12);
+        let cache = PrepCache::new(3);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (g, cache) = (&g, &cache);
+                s.spawn(move || {
+                    // Per-thread LCG: each thread walks the target set in a
+                    // different order, keeping hits, misses and evictions
+                    // interleaved rather than phased.
+                    let mut lcg = t * 2654435761 + 1;
+                    for _ in 0..ROUNDS {
+                        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let target = NodeId::new(((lcg >> 33) % TARGETS) as u32);
+                        let table = cache.get_or_build(g, target);
+                        assert_eq!(table.target(), target);
+                        // The size bound must hold at every observable
+                        // moment, not just after the dust settles.
+                        assert!(cache.len() <= cache.capacity());
+                    }
+                });
+            }
+        });
+
+        // Counters reconcile: every lookup was a hit or a miss, and the
+        // cache never retained more tables than misses built minus those
+        // evicted (duplicate inserts from racing builders are dropped).
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, THREADS * ROUNDS);
+        assert!(stats.misses >= TARGETS, "each target missed at least once");
+        assert!(cache.len() as u64 + stats.evictions <= stats.misses);
+        assert!(cache.len() <= cache.capacity());
+
+        // Whatever survived the churn is exactly what a quiet,
+        // single-threaded build produces.
+        for raw in 0..TARGETS as u32 {
+            if let Some(cached) = cache.get(NodeId::new(raw)) {
+                assert_eq!(*cached, PrepTable::build(&g, NodeId::new(raw)));
+            }
+        }
     }
 }

@@ -52,3 +52,9 @@ pub mod table;
 
 pub use cache::{PrepCache, PrepCacheStats};
 pub use table::PrepTable;
+
+/// Compile-time thread-safety proof: instantiated in a `const _` next to
+/// each shared type, so the build fails the moment a field change makes the
+/// type lose `Send`/`Sync` (the `missing-send-sync-assert` lint requires
+/// one such assertion per concurrency-facing type, outside `cfg(test)`).
+pub(crate) const fn assert_send_sync<T: Send + Sync>() {}

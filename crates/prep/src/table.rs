@@ -46,6 +46,8 @@ pub struct PrepTable {
     relaxations: u64,
 }
 
+const _: () = crate::assert_send_sync::<PrepTable>();
+
 impl PrepTable {
     /// Runs the backward scan over the whole graph.
     ///

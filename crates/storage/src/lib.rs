@@ -54,3 +54,9 @@ pub use records::{AdjacencyEntry, AdjacencyList, FacilityRun, RecordPtr};
 pub use stats::IoStats;
 pub use store::{BufferConfig, EdgeEndpoints, FacilityInfo, MCNStore};
 pub use view::StoreView;
+
+/// Compile-time thread-safety proof: instantiated in a `const _` next to
+/// each shared type, so the build fails the moment a field change makes the
+/// type lose `Send`/`Sync` (the `missing-send-sync-assert` lint requires
+/// one such assertion per concurrency-facing type, outside `cfg(test)`).
+pub(crate) const fn assert_send_sync<T: Send + Sync>() {}

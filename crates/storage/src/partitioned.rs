@@ -166,6 +166,8 @@ pub struct PartitionedStore {
     cross_reads: AtomicU64,
 }
 
+const _: () = crate::assert_send_sync::<PartitionedStore>();
+
 impl PartitionedStore {
     /// Builds one region store per region of `map` on the supplied disks
     /// and wraps each with a buffer pool of the requested size (fractional
@@ -456,9 +458,6 @@ mod tests {
     use mcn_graph::{partition_graph, CostVec, GraphBuilder, PartitionSpec};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
-
-    const fn assert_send_sync<T: Send + Sync>() {}
-    const _: () = assert_send_sync::<PartitionedStore>();
 
     /// Random connected graph with facilities (mirrors the store.rs fixture).
     fn random_graph(seed: u64, nodes: usize, extra: usize, facilities: usize) -> MultiCostGraph {

@@ -60,6 +60,8 @@ pub struct AdjacencyList {
     pub entries: Vec<AdjacencyEntry>,
 }
 
+const _: () = crate::assert_send_sync::<AdjacencyList>();
+
 /// Size in bytes of one facility entry (facility id + position).
 pub const FACILITY_ENTRY_SIZE: usize = 4 + 8;
 

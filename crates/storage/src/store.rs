@@ -50,6 +50,8 @@ pub struct MCNStore {
     meta: StorageMeta,
 }
 
+const _: () = crate::assert_send_sync::<MCNStore>();
+
 /// Basic information about a facility obtained from the facility tree.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FacilityInfo {

@@ -68,6 +68,7 @@ pub fn no_random_access<A: Aggregate>(
             let kth = complete[k - 1].1;
             // Lower bound of every incomplete object: unknown costs replaced by
             // the list frontiers.
+            // mcn-lint: allow(nondet-iteration, reason = "any() over the partial map is order-independent; only the existence of a possible winner matters")
             let incomplete_can_win = partial.values().any(|costs| {
                 let row: Vec<f64> = costs
                     .iter()

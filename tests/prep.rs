@@ -184,15 +184,14 @@ fn property_network(d: usize, nodes: usize, extra: &[(u16, u16)], seed: u64) -> 
     b.build().unwrap()
 }
 
-// Admissibility, cross-checked against ground truth: the prep bound of
-// every node equals the component-wise minimum over the exhaustive Pareto
-// path set — i.e. the vector of true per-cost shortest distances — up to
-// float summation order (1e-9 relative, the same margin the pruned search
-// deflates by). (A doc comment would break the vendored `proptest!`
-// matcher, hence the plain comment.)
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
+    /// Admissibility, cross-checked against ground truth: the prep bound of
+    /// every node equals the component-wise minimum over the exhaustive
+    /// Pareto path set — i.e. the vector of true per-cost shortest distances
+    /// — up to float summation order (1e-9 relative, the same margin the
+    /// pruned search deflates by).
     #[test]
     fn prep_bounds_match_componentwise_minima(
         d in 2usize..=4,

@@ -310,18 +310,23 @@ pub mod prelude {
 ///
 /// Supports the subset of the real macro's grammar used in this workspace:
 /// an optional `#![proptest_config(expr)]` header followed by `#[test]`
-/// functions whose arguments are `pattern in strategy` bindings.
+/// functions whose arguments are `pattern in strategy` bindings. Doc
+/// comments (and any other attributes) on the test functions pass through:
+/// the matcher captures the whole attribute stack — `#[test]` included, as
+/// doc comments desugar to `#[doc = "…"]` attributes — and re-emits it on
+/// the generated zero-argument function. The `$(#[$meta])+` repetition is
+/// unambiguous because it terminates at the `fn` keyword.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
         $crate::proptest!(@block ($config) $($rest)*);
     };
     (@block ($config:expr) $(
-        #[test]
+        $(#[$meta:meta])+
         fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
     )*) => {
         $(
-            #[test]
+            $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
