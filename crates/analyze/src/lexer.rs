@@ -5,9 +5,16 @@
 //! The lexer understands comments (line, block — nested — and doc), string
 //! literals (plain, raw, byte), char literals vs. lifetimes, numeric
 //! literals (with float detection), identifiers and punctuation. A small set
-//! of compound operators (`::`, `==`, `!=`, `->`, `=>`, `<=`, `>=`, `&&`,
-//! `||`, `..`, `..=`) is merged into single tokens so rules can match them
-//! without reassembling character pairs.
+//! of compound operators (`::<`, `::`, `==`, `!=`, `->`, `=>`, `<=`, `>=`,
+//! `&&`, `||`, `..`, `..=`) is merged into single tokens so rules can match
+//! them without reassembling character pairs.
+//!
+//! Angle brackets stay single-character tokens: merging `<<`/`>>` would
+//! corrupt nested generics (`Vec<Vec<u8>>` ends in two independent `>`).
+//! The turbofish `::<` *is* merged, which is what lets downstream passes
+//! tell expression-position generics (`collect::<Vec<_>>()`) from
+//! comparison/shift operators — a bare `<` in expression position is never
+//! a generic opener. Raw identifiers (`r#type`) lex as the bare identifier.
 //!
 //! Line comments are scanned for `mcn-lint:` suppression directives, which
 //! are returned alongside the token stream (see [`LexOutput::directives`]).
@@ -226,8 +233,23 @@ impl Lexer {
                 if self.peek(0) == Some('"') {
                     self.bump();
                     self.string_body(line, Some(hashes));
+                } else if word == "r"
+                    && hashes == 1
+                    && matches!(self.peek(0), Some(c) if c.is_alphabetic() || c == '_')
+                {
+                    // `r#ident` raw identifier: emit the bare identifier so
+                    // `r#type`/`r#fn` resolve like any other name.
+                    let start = self.pos;
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let raw: String = self.chars[start..self.pos].iter().collect();
+                    self.push(line, TokenKind::Ident(raw));
                 } else {
-                    // `r#ident` raw identifier: emit the following word.
                     self.push(line, TokenKind::Ident(word));
                 }
             }
@@ -369,8 +391,8 @@ impl Lexer {
     }
 
     fn punct(&mut self, line: u32) {
-        const COMPOUND: [&str; 11] = [
-            "::", "==", "!=", "->", "=>", "<=", ">=", "&&", "||", "..=", "..",
+        const COMPOUND: [&str; 12] = [
+            "::<", "::", "==", "!=", "->", "=>", "<=", ">=", "&&", "||", "..=", "..",
         ];
         for op in COMPOUND {
             let matches_op = op.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c));
@@ -474,6 +496,47 @@ mod tests {
         assert!(matches!(&k[3], TokenKind::Op(o) if o == "!="));
         assert!(matches!(&k[5], TokenKind::Op(o) if o == "->"));
         assert!(matches!(&k[7], TokenKind::Op(o) if o == "..="));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_idents() {
+        let k = kinds("let r#type = r#fn + 1;");
+        assert!(matches!(&k[1], TokenKind::Ident(s) if s == "type"));
+        assert!(matches!(&k[3], TokenKind::Ident(s) if s == "fn"));
+        // A raw string still lexes as a string, not a raw identifier.
+        assert_eq!(kinds(r###"r#"text"#"###), vec![TokenKind::Str]);
+        // Struct-field position, the form the resolver meets.
+        let k = kinds("struct S { r#match: u32 }");
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "match")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "r")));
+    }
+
+    #[test]
+    fn turbofish_merges_but_shifts_stay_single() {
+        // `::<` is one token, so expression-position generics are explicit.
+        let k = kinds("v.iter().collect::<Vec<_>>()");
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Op(o) if o == "::<")));
+        // Plain paths still use `::`.
+        let k = kinds("Vec::new()");
+        assert!(matches!(&k[1], TokenKind::Op(o) if o == "::"));
+        // Shift operators are NOT merged into generic-looking compounds:
+        // `1 << 2` is two `<` tokens, `x >> 1` two `>` tokens — and nested
+        // generics keep their independent closers.
+        let k = kinds("1 << 2");
+        assert!(matches!(&k[1], TokenKind::Op(o) if o == "<"));
+        assert!(matches!(&k[2], TokenKind::Op(o) if o == "<"));
+        let k = kinds("Vec<Vec<u8>>");
+        let closers = k
+            .iter()
+            .filter(|t| matches!(t, TokenKind::Op(o) if o == ">"))
+            .count();
+        assert_eq!(closers, 2);
     }
 
     #[test]

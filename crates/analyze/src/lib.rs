@@ -10,10 +10,13 @@
 //! concurrency-facing types without compile-time `Send`/`Sync` proof.
 //!
 //! The analysis is dependency-free: a hand-rolled lexer (no syn/quote —
-//! the build environment is offline) plus token-pattern rules in
-//! [`rules`]. Findings diff against the checked-in
-//! `analyze-baseline.json` exactly like the bench gates; suppression is a
-//! reasoned comment:
+//! the build environment is offline), a symbol [`resolver`] and explicit
+//! [`callgraph`], plus rules in [`rules`]. The reachability rules
+//! (`lock-order`, `hot-path-alloc`, `nondet-iteration`) run over resolved
+//! call edges. Findings diff against the checked-in
+//! `analyze-baseline.json` exactly like the bench gates, and the
+//! acquisition-order graph diffs against `lock-order.json`; suppression is
+//! a reasoned comment:
 //!
 //! ```text
 //! // mcn-lint: allow(lock-across-io, reason = "file handle is the lock")
@@ -22,7 +25,10 @@
 //! Run it with `cargo run -p mcn-analyze -- check`.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod resolver;
 pub mod rules;
 pub mod source;
 pub mod workspace;
@@ -32,10 +38,11 @@ use std::fs;
 use std::path::Path;
 
 use baseline::{Baseline, Diff};
+use serde::{Deserialize, Serialize};
 use workspace::Workspace;
 
 /// One lint finding.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
     /// Workspace-relative file path.
     pub file: String,
@@ -67,31 +74,59 @@ pub struct CheckOutcome {
     pub findings: Vec<Finding>,
     /// The diff against the baseline; clean iff both sides are empty.
     pub diff: Diff,
+    /// Every lock class discovered in the workspace, sorted by id.
+    pub lock_classes: Vec<locks::LockClass>,
+    /// The current acquisition-order edges (allow-filtered, deduped).
+    pub lock_edges: Vec<locks::LockEdge>,
+    /// Edges not present in the checked-in `lock-order.json`.
+    pub lock_new: Vec<locks::LockEdge>,
+    /// Checked-in edges that no longer occur.
+    pub lock_stale: Vec<locks::LockEdge>,
     /// Files analyzed, for the report.
     pub files: usize,
 }
 
 impl CheckOutcome {
-    /// True when there is nothing new and nothing stale.
+    /// True when there is nothing new and nothing stale — findings *and*
+    /// lock-order edges.
     pub fn is_clean(&self) -> bool {
-        self.diff.new.is_empty() && self.diff.stale.is_empty()
+        self.diff.new.is_empty()
+            && self.diff.stale.is_empty()
+            && self.lock_new.is_empty()
+            && self.lock_stale.is_empty()
     }
 }
 
 /// Runs the full pass: load the workspace at `root`, run every rule, diff
-/// against the baseline at `baseline_path` (a missing file is an empty
-/// baseline). With `update`, rewrites the baseline to accept exactly the
-/// current findings instead of diffing.
-pub fn check(root: &Path, baseline_path: &Path, update: bool) -> Result<CheckOutcome, String> {
+/// findings against the baseline at `baseline_path` and acquisition edges
+/// against `lock_path` (a missing file is empty on either side). With
+/// `update`, rewrites both files to accept exactly the current state
+/// instead of diffing.
+pub fn check(
+    root: &Path,
+    baseline_path: &Path,
+    lock_path: &Path,
+    update: bool,
+) -> Result<CheckOutcome, String> {
     let ws = Workspace::load(root).map_err(|e| format!("loading workspace: {e}"))?;
-    let findings = rules::run_all(&ws);
+    let analysis = rules::analyze(&ws);
+    let findings = analysis.findings;
     let files = ws.files.len();
     if update {
         let b = Baseline::from_findings(&findings);
         fs::write(baseline_path, b.to_json() + "\n")
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        let lf = locks::LockOrderFile {
+            edges: analysis.lock_edges.clone(),
+        };
+        fs::write(lock_path, lf.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
         return Ok(CheckOutcome {
             diff: Diff::default(),
+            lock_classes: analysis.lock_classes,
+            lock_edges: analysis.lock_edges,
+            lock_new: Vec::new(),
+            lock_stale: Vec::new(),
             findings,
             files,
         });
@@ -103,9 +138,20 @@ pub fn check(root: &Path, baseline_path: &Path, update: bool) -> Result<CheckOut
         Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
     };
     let diff = baseline.diff(&findings);
+    let lock_file = match fs::read_to_string(lock_path) {
+        Ok(text) => locks::LockOrderFile::from_json(&text)
+            .map_err(|e| format!("parsing {}: {e}", lock_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => locks::LockOrderFile::default(),
+        Err(e) => return Err(format!("reading {}: {e}", lock_path.display())),
+    };
+    let (lock_new, lock_stale) = lock_file.diff(&analysis.lock_edges);
     Ok(CheckOutcome {
         findings,
         diff,
+        lock_classes: analysis.lock_classes,
+        lock_edges: analysis.lock_edges,
+        lock_new,
+        lock_stale,
         files,
     })
 }

@@ -1,16 +1,21 @@
-//! The rule engine: six repo-specific lints over the token streams of
+//! The rule engine: eight repo-specific lints over the token streams of
 //! [`crate::workspace::Workspace`] files.
 //!
-//! Every rule works purely on tokens plus the light structure derived in
-//! [`crate::source`] — no type information. Each is tuned to the invariants
-//! this repository actually depends on (byte-identical skylines, strict
-//! lock discipline around physical I/O), accepting the approximations that
-//! come with name-based analysis; false positives are silenced with a
-//! reasoned `// mcn-lint: allow(rule, reason = "...")`.
+//! The original six rules work purely on tokens plus the light structure
+//! derived in [`crate::source`]. Since the resolver landed, the
+//! reachability-based rules (`nondet-iteration`, `hot-path-alloc`,
+//! `lock-order`) run over the *resolved* call graph of
+//! [`crate::callgraph::Model`]: method calls bind to their receiver's
+//! declared type, trait-bound receivers fan out to every implementor, and
+//! the closures over-approximate rather than miss. False positives are
+//! silenced with a reasoned `// mcn-lint: allow(rule, reason = "...")`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::Model;
 use crate::lexer::Token;
+use crate::locks;
+use crate::resolver::CONTAINER_TYPES;
 use crate::source::SourceFile;
 use crate::workspace::Workspace;
 use crate::Finding;
@@ -27,21 +32,89 @@ pub const RULE_PANIC_IN_WORKER: &str = "panic-in-worker";
 pub const RULE_RAW_SPAWN: &str = "raw-spawn";
 /// See [`RULE_LOCK_ACROSS_IO`].
 pub const RULE_MISSING_SEND_SYNC: &str = "missing-send-sync-assert";
+/// Lock-order cycles over the resolved call graph (see [`crate::locks`]).
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Allocation in functions reachable from the query inner loops.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
 /// Malformed `mcn-lint:` comments; not suppressible.
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
 
 /// All suppressible rules, for documentation and directive validation.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_LOCK_ACROSS_IO,
     RULE_NONDET_ITERATION,
     RULE_FLOAT_EQ,
     RULE_PANIC_IN_WORKER,
     RULE_RAW_SPAWN,
     RULE_MISSING_SEND_SYNC,
+    RULE_LOCK_ORDER,
+    RULE_HOT_PATH_ALLOC,
+];
+
+/// One rule's documentation, for the `list-rules` subcommand.
+pub struct RuleDoc {
+    /// Rule name as used in findings and allow directives.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Whether `mcn-lint: allow(...)` can suppress it.
+    pub suppressible: bool,
+}
+
+/// Every rule, with its one-line description.
+pub const RULE_DOCS: [RuleDoc; 9] = [
+    RuleDoc {
+        name: RULE_LOCK_ACROSS_IO,
+        summary: "a lock guard stays live across a physical-read/DiskManager call",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_NONDET_ITERATION,
+        summary: "hash-order iteration in a function that reaches a determinism sink \
+                  (resolved call graph)",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_FLOAT_EQ,
+        summary: "exact float comparison against a literal in non-test code",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_PANIC_IN_WORKER,
+        summary: "unwrap/expect/panic! inside a spawned worker closure",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_RAW_SPAWN,
+        summary: "thread creation outside the driver/engine modules",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_MISSING_SEND_SYNC,
+        summary: "concurrency-facing pub struct without a compile-time Send/Sync assertion",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_LOCK_ORDER,
+        summary: "a lock acquisition edge closes a cycle in the acquisition-order graph \
+                  (deadlock precondition); allow on the edge site exempts the edge",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_HOT_PATH_ALLOC,
+        summary: "allocation (container construction, format!, to_vec, container clone) \
+                  in a function reachable from the LSA/CEA/prep inner loops",
+        suppressible: true,
+    },
+    RuleDoc {
+        name: RULE_ALLOW_SYNTAX,
+        summary: "malformed mcn-lint directive (never suppressible)",
+        suppressible: false,
+    },
 ];
 
 /// Guard-producing method names: `self.file.lock()` and friends.
-const GUARD_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+pub const GUARD_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
 
 /// Calls that hit the `DiskManager` / physical-read layer.
 const IO_CALLS: [&str; 9] = [
@@ -90,12 +163,25 @@ const CONCURRENCY_MARKERS: [&str; 8] = [
     "Arc",
 ];
 
-/// Runs every rule over the workspace and returns the surviving findings
-/// (allow-suppressed ones removed), sorted by file, line and rule.
-pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+/// Everything one full pass produces: findings plus the lock-order graph.
+pub struct Analysis {
+    /// Surviving findings, sorted by file, line and rule.
+    pub findings: Vec<Finding>,
+    /// Deduplicated lock acquisition edges (diffed against
+    /// `lock-order.json` by the driver).
+    pub lock_edges: Vec<locks::LockEdge>,
+    /// Every lock class found in non-test code.
+    pub lock_classes: Vec<locks::LockClass>,
+}
+
+/// Runs every rule over the workspace: builds the resolved model once,
+/// runs the lexical rules per file and the call-graph rules on top, and
+/// returns the surviving findings plus the lock-order graph.
+pub fn analyze(ws: &Workspace) -> Analysis {
+    let model = Model::build(ws);
     let mut raw = Vec::new();
-    let sensitive = sensitive_fns(ws);
-    for file in &ws.files {
+    let sensitive = sensitive_spans(&model);
+    for (fi, file) in ws.files.iter().enumerate() {
         for bad in &file.bad_directives {
             raw.push(Finding {
                 file: file.path.clone(),
@@ -106,12 +192,15 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
             });
         }
         lock_across_io(file, &mut raw);
-        nondet_iteration(file, &sensitive, &mut raw);
+        nondet_iteration(file, fi, &sensitive, &mut raw);
         float_eq(file, &mut raw);
         panic_in_worker(file, &mut raw);
         raw_spawn(file, &mut raw);
     }
     missing_send_sync_assert(ws, &mut raw);
+    hot_path_alloc(&model, &mut raw);
+    let lock = locks::run(&model);
+    raw.extend(lock.findings.iter().cloned());
 
     let mut findings: Vec<Finding> = raw
         .into_iter()
@@ -125,7 +214,17 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });
-    findings
+    Analysis {
+        findings,
+        lock_edges: lock.edges,
+        lock_classes: lock.classes,
+    }
+}
+
+/// Runs every rule and returns the surviving findings, sorted by file,
+/// line and rule.
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    analyze(ws).findings
 }
 
 fn push(out: &mut Vec<Finding>, file: &SourceFile, rule: &str, line: u32, message: String) {
@@ -231,7 +330,7 @@ fn simple_let_bounds(toks: &[Token], from: usize) -> Option<(usize, usize)> {
     let mut eq = None;
     while k < toks.len() {
         let t = &toks[k];
-        if t.is_op("(") || t.is_op("[") || t.is_op("<") {
+        if t.is_op("(") || t.is_op("[") || t.is_op("<") || t.is_op("::<") {
             depth += 1;
         } else if t.is_op(")") || t.is_op("]") || t.is_op(">") {
             depth -= 1;
@@ -249,73 +348,63 @@ fn simple_let_bounds(toks: &[Token], from: usize) -> Option<(usize, usize)> {
 
 // ---------------------------------------------------------------- rule 2
 
-/// Computes the set of "determinism-sensitive" function names: everything
-/// that can reach a sink (fingerprints, serde output, gate baselines) as a
-/// caller, plus everything a sink itself calls. Name-based and therefore
-/// approximate — functions sharing a name merge — which only errs on the
-/// conservative side.
-pub fn sensitive_fns(ws: &Workspace) -> BTreeSet<String> {
-    let mut all_fns: BTreeSet<&str> = BTreeSet::new();
-    for file in &ws.files {
-        for f in &file.fns {
-            all_fns.insert(&f.name);
+/// Computes the set of "determinism-sensitive" functions over the
+/// *resolved* call graph, keyed by `(file index, span start token)`:
+/// everything that can reach a sink (fingerprints, serde output, gate
+/// baselines) as a caller, plus everything a sink itself calls. A call
+/// site whose *name* matches a sink still seeds sensitivity even when the
+/// callee lives outside the workspace (vendored serde), so the boundary
+/// stays conservative; propagation through the graph is resolved, so two
+/// unrelated functions sharing a name no longer taint each other.
+fn sensitive_spans(model: &Model<'_>) -> BTreeSet<(usize, usize)> {
+    let r = &model.resolver;
+    let g = &model.graph;
+    // Seeds: workspace fns named like a sink, plus fns that call a
+    // sink-named target directly (resolved or not).
+    let mut seeds: Vec<usize> = Vec::new();
+    for (i, f) in r.fns.iter().enumerate() {
+        let named_sink = DETERMINISM_SINKS.contains(&f.name.as_str());
+        let calls_sink = g.sites[i]
+            .iter()
+            .any(|s| DETERMINISM_SINKS.contains(&s.name.as_str()));
+        if named_sink || calls_sink {
+            seeds.push(i);
         }
     }
-    // callers[g] = set of functions that call g; callees[f] = what f calls.
-    let mut callers: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    let mut callees: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    for file in &ws.files {
-        for f in &file.fns {
-            for k in f.body_start..f.end.min(file.tokens.len()) {
-                let Some(id) = file.tokens[k].ident() else {
-                    continue;
-                };
-                let is_call = file.tokens.get(k + 1).is_some_and(|t| t.is_op("("));
-                if is_call && (all_fns.contains(id) || DETERMINISM_SINKS.contains(&id)) {
-                    callees.entry(f.name.as_str()).or_default().insert(id);
-                    callers.entry(id).or_default().insert(f.name.as_str());
-                }
-            }
+    let sink_named: Vec<usize> = r
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| DETERMINISM_SINKS.contains(&f.name.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    // Reverse closure: callers that reach a seed. Forward closure: what
+    // the sinks themselves execute.
+    let sensitive = g.reaches(&seeds);
+    let executed = g.reachable_from(&sink_named);
+    let mut out = BTreeSet::new();
+    for (i, f) in r.fns.iter().enumerate() {
+        if sensitive[i] || executed[i] {
+            let span = &model.ws.files[f.file].fns[f.span];
+            out.insert((f.file, span.start));
         }
     }
-    let mut sensitive: BTreeSet<String> = DETERMINISM_SINKS.iter().map(|s| s.to_string()).collect();
-    // Reverse closure: callers that reach a sink.
-    loop {
-        let mut grew = false;
-        for (f, outs) in &callees {
-            if !sensitive.contains(*f) && outs.iter().any(|g| sensitive.contains(*g)) {
-                sensitive.insert(f.to_string());
-                grew = true;
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
-    // Forward closure: what the sinks themselves execute.
-    let mut frontier: Vec<&str> = DETERMINISM_SINKS.to_vec();
-    let mut reached: BTreeSet<&str> = frontier.iter().copied().collect();
-    while let Some(f) = frontier.pop() {
-        if let Some(outs) = callees.get(f) {
-            for g in outs {
-                if reached.insert(g) {
-                    frontier.push(g);
-                }
-            }
-        }
-    }
-    sensitive.extend(reached.iter().map(|s| s.to_string()));
-    let _ = callers; // kept for symmetry/debugging; reverse pass uses callees
-    sensitive
+    out
 }
 
 /// **nondet-iteration**: iterating a `HashMap`/`HashSet` inside a function
-/// that transitively feeds a determinism sink. Hash iteration order is
-/// randomized per process, so any such path can flip fingerprint bytes or
-/// baseline JSON between runs. Iterations that sort in the same statement
-/// (or whose `let` result is `.sort*`-ed later in the function) pass.
-/// Non-test code only: the product invariant is what's guarded here.
-fn nondet_iteration(file: &SourceFile, sensitive: &BTreeSet<String>, out: &mut Vec<Finding>) {
+/// that transitively feeds a determinism sink (over the resolved call
+/// graph). Hash iteration order is randomized per process, so any such
+/// path can flip fingerprint bytes or baseline JSON between runs.
+/// Iterations that sort in the same statement (or whose `let` result is
+/// `.sort*`-ed later in the function) pass. Non-test code only: the
+/// product invariant is what's guarded here.
+fn nondet_iteration(
+    file: &SourceFile,
+    file_idx: usize,
+    sensitive: &BTreeSet<(usize, usize)>,
+    out: &mut Vec<Finding>,
+) {
     let toks = &file.tokens;
     let hash_names = hash_typed_names(toks);
     if hash_names.is_empty() {
@@ -332,7 +421,7 @@ fn nondet_iteration(file: &SourceFile, sensitive: &BTreeSet<String>, out: &mut V
         "into_values",
     ];
     for f in &file.fns {
-        if !sensitive.contains(&f.name) || file.in_test_code(f.start) {
+        if !sensitive.contains(&(file_idx, f.start)) || file.in_test_code(f.start) {
             continue;
         }
         // One finding per line: a `for … in map.iter()` matches both the
@@ -695,7 +784,7 @@ fn struct_body(toks: &[Token], mut j: usize) -> (usize, usize) {
     if toks.get(j).is_some_and(|t| t.is_op("<")) {
         let mut angle = 0i32;
         while j < toks.len() {
-            if toks[j].is_op("<") {
+            if toks[j].is_op("<") || toks[j].is_op("::<") {
                 angle += 1;
             } else if toks[j].is_op(">") {
                 angle -= 1;
@@ -727,4 +816,255 @@ fn struct_body(toks: &[Token], mut j: usize) -> (usize, usize) {
         }
         _ => (j, j),
     }
+}
+
+/// Seed roots for **hot-path-alloc**: `(crate, fn name)` pairs naming the
+/// inner-loop drivers of LSA/CEA expansion and the ParetoPrep scan. A
+/// root's *loop bodies* are hot; every function those loop bodies call is
+/// hot throughout its whole body, transitively.
+const HOT_PATH_ROOTS: [(&str, &str); 4] = [
+    ("expansion", "advance"),
+    ("expansion", "next_nearest"),
+    ("mcpp", "search"),
+    ("prep", "scan"),
+];
+
+/// Crates the hot-path lint never descends into: storage allocation is
+/// page management amortized behind the buffer pool, and the witness crate
+/// is debug-assertion instrumentation that vanishes in release builds.
+const HOT_PATH_EXCLUDED_CRATES: [&str; 2] = ["storage", "witness"];
+
+/// Method calls that allocate a fresh owned value.
+const ALLOC_METHODS: [&str; 4] = ["to_vec", "to_owned", "to_string", "collect"];
+
+/// Container constructors that allocate (checked as `Container::ctor`).
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// **hot-path-alloc**: per-step allocation inside the algorithmic inner
+/// loops. Functions reachable (over the resolved call graph) from a
+/// [`HOT_PATH_ROOTS`] loop body are flagged wherever they allocate:
+/// `format!`/`vec!` expansion, container constructors, `.to_vec()`-style
+/// owned conversions, `.collect()`, and `.clone()` of container-typed (or
+/// untypeable) receivers. `Arc`/`Rc` clones are refcount bumps, `.push(…)`
+/// is amortized O(1), and `Copy` scalar clones resolve to non-container
+/// types — none of those fire. Sites that allocate by design carry
+/// `mcn-lint: allow(hot-path-alloc, reason = "…")`.
+fn hot_path_alloc(model: &Model<'_>, out: &mut Vec<Finding>) {
+    let r = &model.resolver;
+    let ws = model.ws;
+    let excluded = |i: usize| HOT_PATH_EXCLUDED_CRATES.contains(&r.fns[i].crate_name.as_str());
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, f) in r.fns.iter().enumerate() {
+        let is_root = HOT_PATH_ROOTS
+            .iter()
+            .any(|&(c, n)| f.crate_name == c && f.name == n);
+        let span_start = ws.files[f.file].fns[f.span].start;
+        if is_root && !ws.files[f.file].in_test_code(span_start) {
+            roots.push(i);
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    // Hot closure: callees invoked from a root's loop body, then everything
+    // they reach, never descending into excluded crates.
+    let mut hot = vec![false; r.fns.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &root in &roots {
+        let f = &r.fns[root];
+        let file = &ws.files[f.file];
+        let loops = loop_ranges(file, &file.fns[f.span]);
+        for site in &model.graph.sites[root] {
+            if !in_any(&loops, site.tok) {
+                continue;
+            }
+            for &c in &site.candidates {
+                if !hot[c] && !excluded(c) {
+                    hot[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    while let Some(fi) = stack.pop() {
+        for site in &model.graph.sites[fi] {
+            for &c in &site.candidates {
+                if !hot[c] && !excluded(c) {
+                    hot[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    for (i, f) in r.fns.iter().enumerate() {
+        let everywhere = hot[i];
+        let is_root = roots.contains(&i);
+        if !everywhere && !is_root {
+            continue;
+        }
+        let file = &ws.files[f.file];
+        let span = &file.fns[f.span];
+        if file.in_test_code(span.start) {
+            continue;
+        }
+        let ranges: Vec<(usize, usize)> = if everywhere {
+            vec![(span.body_start, span.end.min(file.tokens.len()))]
+        } else {
+            loop_ranges(file, span)
+        };
+        let why = if everywhere {
+            format!("`{}` is reachable from a hot inner loop", f.qualified())
+        } else {
+            format!("inside a hot loop of `{}`", f.qualified())
+        };
+        scan_alloc_sites(model, i, &ranges, &why, out);
+    }
+}
+
+/// Flags allocation sites of `fns[fn_id]` within `ranges` (token index
+/// half-open intervals), skipping tokens owned by nested `fn` items.
+fn scan_alloc_sites(
+    model: &Model<'_>,
+    fn_id: usize,
+    ranges: &[(usize, usize)],
+    why: &str,
+    out: &mut Vec<Finding>,
+) {
+    let r = &model.resolver;
+    let f = &r.fns[fn_id];
+    let file = &model.ws.files[f.file];
+    let toks = &file.tokens;
+    let span = &file.fns[f.span];
+    for k in span.body_start..span.end.min(toks.len()) {
+        if !in_any(ranges, k) || !model.owns_token(fn_id, k) {
+            continue;
+        }
+        // `format!` / `vec!` macro expansion.
+        if let Some(id) = toks[k].ident() {
+            if (id == "format" || id == "vec") && toks.get(k + 1).is_some_and(|t| t.is_op("!")) {
+                push(
+                    out,
+                    file,
+                    RULE_HOT_PATH_ALLOC,
+                    toks[k].line,
+                    format!("`{id}!` allocates {why}; hoist the buffer out of the loop"),
+                );
+                continue;
+            }
+            // `Vec::new(…)`, `String::from(…)`, `Box::new(…)`, …
+            if CONTAINER_TYPES.contains(&id)
+                && toks.get(k + 1).is_some_and(|t| t.is_op("::"))
+                && toks
+                    .get(k + 2)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|m| ALLOC_CTORS.contains(&m))
+                && toks
+                    .get(k + 3)
+                    .is_some_and(|t| t.is_op("(") || t.is_op("::<"))
+            {
+                let m = toks[k + 2].ident().unwrap_or_default();
+                push(
+                    out,
+                    file,
+                    RULE_HOT_PATH_ALLOC,
+                    toks[k].line,
+                    format!("`{id}::{m}` allocates {why}; hoist or reuse a buffer"),
+                );
+                continue;
+            }
+        }
+        // `.to_vec()` / `.to_owned()` / `.to_string()` / `.collect()` /
+        // `.clone()` on a container-typed or untypeable receiver.
+        if !toks[k].is_op(".") {
+            continue;
+        }
+        let Some(m) = toks.get(k + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let is_invoked = toks
+            .get(k + 2)
+            .is_some_and(|t| t.is_op("(") || t.is_op("::<"));
+        if !is_invoked {
+            continue;
+        }
+        if ALLOC_METHODS.contains(&m) {
+            push(
+                out,
+                file,
+                RULE_HOT_PATH_ALLOC,
+                toks[k + 1].line,
+                format!("`.{m}()` allocates a fresh owned value {why}; hoist or reuse a buffer"),
+            );
+            continue;
+        }
+        if m == "clone" && k > span.body_start {
+            match r.postfix_type(model.ws, fn_id, k - 1) {
+                Some(ty) if r.is_container_type(&ty) => {
+                    push(
+                        out,
+                        file,
+                        RULE_HOT_PATH_ALLOC,
+                        toks[k + 1].line,
+                        format!(
+                            "`.clone()` of a `{}` deep-copies {why}; borrow or reuse instead",
+                            ty.first().map(String::as_str).unwrap_or("container")
+                        ),
+                    );
+                }
+                Some(_) => {} // Arc/Rc refcount bump, Copy scalar, or plain struct.
+                None => {
+                    push(
+                        out,
+                        file,
+                        RULE_HOT_PATH_ALLOC,
+                        toks[k + 1].line,
+                        format!(
+                            "`.clone()` of an unresolved receiver {why}; if it deep-copies, \
+                             hoist it — otherwise add a reasoned allow"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True when `k` falls in any half-open `(start, end)` range.
+fn in_any(ranges: &[(usize, usize)], k: usize) -> bool {
+    ranges.iter().any(|&(a, b)| k >= a && k < b)
+}
+
+/// Token ranges of every `for`/`while`/`loop` body in `span` (nested loops
+/// yield overlapping ranges). The body brace is the first `{` at zero
+/// paren/bracket depth after the keyword — Rust forbids bare struct
+/// literals in loop-header position, so that brace opens the body.
+fn loop_ranges(file: &SourceFile, span: &crate::source::FnSpan) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let end = span.end.min(toks.len());
+    for k in span.body_start..end {
+        let is_loop_kw = toks[k]
+            .ident()
+            .is_some_and(|id| id == "for" || id == "while" || id == "loop");
+        if !is_loop_kw {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut m = k + 1;
+        while m < end {
+            let t = &toks[m];
+            if t.is_op("(") || t.is_op("[") {
+                depth += 1;
+            } else if t.is_op(")") || t.is_op("]") {
+                depth -= 1;
+            } else if t.is_op("{") && depth == 0 {
+                out.push((m + 1, crate::source::matching_close(toks, m)));
+                break;
+            } else if t.is_op(";") && depth == 0 {
+                break;
+            }
+            m += 1;
+        }
+    }
+    out
 }

@@ -438,3 +438,225 @@ fn malformed_allow_is_a_finding_itself() {
         "{findings:?}"
     );
 }
+
+// ---------------------------------------------------------------- lock-order
+
+/// Two functions acquiring the same two lock classes in opposite orders:
+/// the canonical deadlock precondition. Both edges close the cycle, so
+/// both acquisition sites are reported.
+#[test]
+fn lock_order_catches_a_two_lock_cycle() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ORDER,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct A { m: Mutex<u32> }\n",
+            "pub struct B { m: Mutex<u32> }\n",
+            "pub struct Sys { a: A, b: B }\n",
+            "impl Sys {\n",
+            "    fn fwd(&self) -> u32 {\n",
+            "        let ga = self.a.m.lock();\n",
+            "        let gb = self.b.m.lock();\n",
+            "        *ga + *gb\n",
+            "    }\n",
+            "    fn rev(&self) -> u32 {\n",
+            "        let gb = self.b.m.lock();\n",
+            "        let ga = self.a.m.lock();\n",
+            "        *ga + *gb\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|f| f.message.contains("`scratch::A.m`")));
+    assert!(hits.iter().any(|f| f.message.contains("`scratch::B.m`")));
+}
+
+/// Dropping the first guard before taking the second breaks the overlap:
+/// no edge, no cycle, no finding.
+#[test]
+fn lock_order_respects_guard_drops() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ORDER,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct A { m: Mutex<u32> }\n",
+            "pub struct B { m: Mutex<u32> }\n",
+            "pub struct Sys { a: A, b: B }\n",
+            "impl Sys {\n",
+            "    fn fwd(&self) {\n",
+            "        let ga = self.a.m.lock();\n",
+            "        drop(ga);\n",
+            "        let gb = self.b.m.lock();\n",
+            "        drop(gb);\n",
+            "    }\n",
+            "    fn rev(&self) {\n",
+            "        let gb = self.b.m.lock();\n",
+            "        drop(gb);\n",
+            "        let ga = self.a.m.lock();\n",
+            "        drop(ga);\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+/// A guard held across a call picks up the callee's acquisitions through
+/// the call-graph closure: the cycle spans four functions and no single
+/// function nests two guards.
+#[test]
+fn lock_order_sees_edges_through_calls() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ORDER,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct A { m: Mutex<u32> }\n",
+            "pub struct B { m: Mutex<u32> }\n",
+            "pub struct Sys { a: A, b: B }\n",
+            "impl Sys {\n",
+            "    fn outer(&self) {\n",
+            "        let ga = self.a.m.lock();\n",
+            "        self.lock_b();\n",
+            "    }\n",
+            "    fn lock_b(&self) {\n",
+            "        let gb = self.b.m.lock();\n",
+            "    }\n",
+            "    fn other(&self) {\n",
+            "        let gb = self.b.m.lock();\n",
+            "        self.lock_a();\n",
+            "    }\n",
+            "    fn lock_a(&self) {\n",
+            "        let ga = self.a.m.lock();\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("via")),
+        "cross-call edges carry the callee attribution: {hits:?}"
+    );
+}
+
+/// An `allow(lock-order)` on one acquisition site removes that edge from
+/// the graph — the cycle disappears and *neither* direction reports.
+#[test]
+fn lock_order_allow_removes_the_edge() {
+    let hits = findings_for(
+        rules::RULE_LOCK_ORDER,
+        "crates/scratch/src/lib.rs",
+        concat!(
+            "pub struct A { m: Mutex<u32> }\n",
+            "pub struct B { m: Mutex<u32> }\n",
+            "pub struct Sys { a: A, b: B }\n",
+            "impl Sys {\n",
+            "    fn fwd(&self) -> u32 {\n",
+            "        let ga = self.a.m.lock();\n",
+            "        let gb = self.b.m.lock();\n",
+            "        *ga + *gb\n",
+            "    }\n",
+            "    fn rev(&self) -> u32 {\n",
+            "        let gb = self.b.m.lock();\n",
+            "        // mcn-lint: allow(lock-order, reason = \"startup-only path, never concurrent with fwd\")\n",
+            "        let ga = self.a.m.lock();\n",
+            "        *ga + *gb\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+// ------------------------------------------------------------ hot-path-alloc
+
+/// `search` in the `mcpp` crate is a seeded hot root: allocation inside
+/// its loops is flagged, setup allocation before the loop is not.
+#[test]
+fn hot_path_alloc_flags_root_loop_bodies_only() {
+    let hits = findings_for(
+        rules::RULE_HOT_PATH_ALLOC,
+        "crates/mcpp/src/scratch.rs",
+        concat!(
+            "pub fn search(n: u32) -> u32 {\n",
+            "    let mut acc = Vec::with_capacity(n as usize);\n",
+            "    for i in 0..n {\n",
+            "        let step = vec![i];\n",
+            "        acc.push(step[0]);\n",
+            "    }\n",
+            "    acc.len() as u32\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 4, "only the in-loop `vec!` fires: {hits:?}");
+}
+
+/// A callee invoked from a hot root's loop is hot *everywhere*: its
+/// allocations are flagged even outside any loop of its own.
+#[test]
+fn hot_path_alloc_propagates_to_loop_callees() {
+    let hits = findings_for(
+        rules::RULE_HOT_PATH_ALLOC,
+        "crates/mcpp/src/scratch.rs",
+        concat!(
+            "pub fn search(n: u32) -> u32 {\n",
+            "    let mut total = 0;\n",
+            "    for i in 0..n {\n",
+            "        total += step(i);\n",
+            "    }\n",
+            "    total\n",
+            "}\n",
+            "fn step(i: u32) -> u32 {\n",
+            "    let owned = i.to_string();\n",
+            "    owned.len() as u32\n",
+            "}\n",
+        ),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("to_string"), "{hits:?}");
+    assert!(
+        hits[0].message.contains("reachable from a hot inner loop"),
+        "{hits:?}"
+    );
+}
+
+/// A reasoned allow on the allocation site suppresses the finding.
+#[test]
+fn hot_path_alloc_allow_suppresses() {
+    let hits = findings_for(
+        rules::RULE_HOT_PATH_ALLOC,
+        "crates/mcpp/src/scratch.rs",
+        concat!(
+            "pub fn search(n: u32) -> u32 {\n",
+            "    let mut total = 0;\n",
+            "    for i in 0..n {\n",
+            "        // mcn-lint: allow(hot-path-alloc, reason = \"bounded scratch list, one per step by design\")\n",
+            "        let step = vec![i];\n",
+            "        total += step[0];\n",
+            "    }\n",
+            "    total\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+/// Functions not reachable from any hot root allocate freely.
+#[test]
+fn hot_path_alloc_ignores_cold_functions() {
+    let hits = findings_for(
+        rules::RULE_HOT_PATH_ALLOC,
+        "crates/mcpp/src/scratch.rs",
+        concat!(
+            "pub fn build_report(n: u32) -> String {\n",
+            "    let mut out = String::new();\n",
+            "    for i in 0..n {\n",
+            "        out += &format!(\"{i}\");\n",
+            "    }\n",
+            "    out\n",
+            "}\n",
+        ),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}

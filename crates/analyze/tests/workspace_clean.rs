@@ -16,7 +16,8 @@ fn workspace_root() -> &'static Path {
 fn workspace_is_clean_against_minimal_baseline() {
     let root = workspace_root();
     let baseline = root.join("crates/analyze/analyze-baseline.json");
-    let outcome = mcn_analyze::check(root, &baseline, false).expect("check runs");
+    let lock_order = root.join("crates/analyze/lock-order.json");
+    let outcome = mcn_analyze::check(root, &baseline, &lock_order, false).expect("check runs");
     assert!(outcome.files > 20, "workspace walk looks truncated");
     let new: Vec<String> = outcome.diff.new.iter().map(|f| f.to_string()).collect();
     assert!(
@@ -34,6 +35,26 @@ fn workspace_is_clean_against_minimal_baseline() {
         outcome.diff.stale.is_empty(),
         "baseline entries that no longer fire (baseline must stay minimal):\n{}",
         stale.join("\n")
+    );
+    let lock_new: Vec<String> = outcome
+        .lock_new
+        .iter()
+        .map(|e| format!("{} -> {} ({}:{})", e.from, e.to, e.file, e.line))
+        .collect();
+    assert!(
+        outcome.lock_new.is_empty(),
+        "acquisition edges not in lock-order.json:\n{}",
+        lock_new.join("\n")
+    );
+    let lock_stale: Vec<String> = outcome
+        .lock_stale
+        .iter()
+        .map(|e| format!("{} -> {}", e.from, e.to))
+        .collect();
+    assert!(
+        outcome.lock_stale.is_empty(),
+        "lock-order.json edges that no longer occur:\n{}",
+        lock_stale.join("\n")
     );
 }
 

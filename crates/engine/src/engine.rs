@@ -237,7 +237,9 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
                 }
                 None => requests[i].execute_with(&self.store, paths),
             };
-            *slots[i].lock() = Some(outcome);
+            let mut slot = slots[i].lock();
+            let _slot_w = mcn_witness::acquire("engine::run.slots");
+            *slot = Some(outcome);
         };
 
         // Scheduler state lives outside the scope so worker borrows survive
@@ -259,7 +261,12 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
                     scope.spawn(move || {
                         let mut last: Option<usize> = None;
                         loop {
-                            let Some((region, i, kind)) = state.lock().claim(last) else {
+                            let claimed = {
+                                let mut st = state.lock();
+                                let _state_w = mcn_witness::acquire("engine::run.state");
+                                st.claim(last)
+                            };
+                            let Some((region, i, kind)) = claimed else {
                                 break;
                             };
                             match kind {
@@ -272,7 +279,11 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
                                 }
                             }
                             execute(i);
-                            state.lock().active[region] -= 1;
+                            {
+                                let mut st = state.lock();
+                                let _state_w = mcn_witness::acquire("engine::run.state");
+                                st.active[region] -= 1;
+                            }
                             last = Some(region);
                         }
                     });

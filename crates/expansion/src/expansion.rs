@@ -260,10 +260,12 @@ impl<A: NetworkAccess> Expansion<A> {
         let targets: Vec<(FacilityId, f64)> = match &self.facility_mode {
             FacilityMode::Ignore => return,
             FacilityMode::All => match run {
+                // mcn-lint: allow(hot-path-alloc, reason = "materializes the per-edge run once per edge settle, not per label; push_facility below needs &mut self, so the Arc borrow cannot be held instead")
                 Some(run) => self.access.facilities_in_run(run).iter().copied().collect(),
                 None => return,
             },
             FacilityMode::CandidatesOnly(by_edge) => match by_edge.get(&edge) {
+                // mcn-lint: allow(hot-path-alloc, reason = "clones the short per-edge candidate list so push_facility can take &mut self; bounded by candidates on one edge")
                 Some(cands) => cands.clone(),
                 None => return,
             },

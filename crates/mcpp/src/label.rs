@@ -187,6 +187,7 @@ fn search(
     while let Some(node) = queue.pop_front() {
         queued[node.index()] = false;
         stats.nodes_settled += 1;
+        // mcn-lint: allow(hot-path-alloc, reason = "snapshot of the settled node's labels — the inner loop mutates labels[] at head nodes, so iterating a borrow would alias; one clone per settle, not per label")
         let current: Vec<ParetoLabel> = labels[node.index()].clone();
         for neighbor in graph.neighbors(node) {
             for label in &current {
@@ -229,6 +230,7 @@ fn search(
                 let before = existing.len();
                 existing.retain(|l| !dominates(&costs, &l.costs));
                 stats.labels_evicted += (before - existing.len()) as u64;
+                // mcn-lint: allow(hot-path-alloc, reason = "label-correcting is path-explicit: every surviving label owns its edge sequence; the clone happens only after dominance pruning admits the label")
                 let mut edges = label.edges.clone();
                 edges.push(neighbor.edge);
                 existing.push(ParetoLabel {

@@ -7,6 +7,10 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Witness lock-class id — the exact string `mcn-analyze` derives
+/// (`crate::Type.field`), so observed edges diff against the static graph.
+const W_INNER: &str = "prep::PrepCache.inner";
+
 /// Counters of one [`PrepCache`]'s lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PrepCacheStats {
@@ -93,6 +97,7 @@ impl PrepCache {
     /// starting condition of the `prep` experiment).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        let _inner_w = mcn_witness::acquire(W_INNER);
         inner.map.clear();
         inner.order.clear();
         inner.stats = PrepCacheStats::default();
@@ -102,6 +107,7 @@ impl PrepCache {
     /// recency.
     pub fn get(&self, target: NodeId) -> Option<Arc<PrepTable>> {
         let mut inner = self.inner.lock();
+        let _inner_w = mcn_witness::acquire(W_INNER);
         let hit = inner.map.get(&target.raw()).cloned();
         match hit {
             Some(table) => {
@@ -122,6 +128,7 @@ impl PrepCache {
     pub fn insert(&self, table: Arc<PrepTable>) -> Arc<PrepTable> {
         let key = table.target().raw();
         let mut inner = self.inner.lock();
+        let _inner_w = mcn_witness::acquire(W_INNER);
         if let Some(existing) = inner.map.get(&key).cloned() {
             touch(&mut inner.order, key);
             return existing;

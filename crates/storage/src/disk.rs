@@ -7,6 +7,11 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Witness lock-class ids — the exact strings `mcn-analyze` derives
+/// (`crate::Type.field`), so observed edges diff against the static graph.
+const W_MEM: &str = "storage::InMemoryDisk.pages";
+const W_FILE: &str = "storage::FileDisk.file";
+
 /// A physical page store.
 ///
 /// Two implementations are provided:
@@ -97,6 +102,7 @@ impl DiskManager for InMemoryDisk {
             std::thread::sleep(self.read_latency);
         }
         let pages = self.pages.read();
+        let _pages_w = mcn_witness::acquire(W_MEM);
         let page = pages
             .get(id.index())
             .unwrap_or_else(|| panic!("read of unallocated {id}"));
@@ -106,6 +112,7 @@ impl DiskManager for InMemoryDisk {
 
     fn write_page(&self, id: PageId, page: &Page) {
         let mut pages = self.pages.write();
+        let _pages_w = mcn_witness::acquire(W_MEM);
         let slot = pages
             .get_mut(id.index())
             .unwrap_or_else(|| panic!("write to unallocated {id}"));
@@ -115,6 +122,7 @@ impl DiskManager for InMemoryDisk {
 
     fn allocate_page(&self) -> PageId {
         let mut pages = self.pages.write();
+        let _pages_w = mcn_witness::acquire(W_MEM);
         let id = PageId::new(pages.len() as u32);
         pages.push(Page::zeroed());
         id
@@ -188,6 +196,7 @@ impl DiskManager for FileDisk {
             "read of unallocated {id}"
         );
         let mut file = self.file.write();
+        let _file_w = mcn_witness::acquire(W_FILE);
         // mcn-lint: allow(lock-across-io, reason = "the file-handle mutex IS the I/O serialization point; the seek/read pair must be atomic")
         file.seek(SeekFrom::Start(id.index() as u64 * PAGE_SIZE as u64))
             .expect("seek failed");
@@ -202,6 +211,7 @@ impl DiskManager for FileDisk {
             "write to unallocated {id}"
         );
         let mut file = self.file.write();
+        let _file_w = mcn_witness::acquire(W_FILE);
         // mcn-lint: allow(lock-across-io, reason = "the file-handle mutex IS the I/O serialization point; the seek/write pair must be atomic")
         file.seek(SeekFrom::Start(id.index() as u64 * PAGE_SIZE as u64))
             .expect("seek failed");
@@ -213,6 +223,7 @@ impl DiskManager for FileDisk {
     fn allocate_page(&self) -> PageId {
         let id = self.num_pages.fetch_add(1, Ordering::SeqCst);
         let mut file = self.file.write();
+        let _file_w = mcn_witness::acquire(W_FILE);
         // mcn-lint: allow(lock-across-io, reason = "allocation must extend the file atomically under the handle lock or concurrent allocators interleave their extents")
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))
             .expect("seek failed");
