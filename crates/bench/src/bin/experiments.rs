@@ -22,11 +22,13 @@
 //! failure.
 
 use mcn_bench::{
-    compare_gate, compare_label_gate, dimacs_graph, dimacs_workload, render_partition_table,
-    render_prep_table, render_table, render_throughput_table, run_gate, run_label_gate,
-    run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput, Experiment,
-    ExperimentConfig, ExperimentTable, GateBaseline, GateConfig, LabelBaseline, LabelGateConfig,
-    PartitionConfig, PartitionTable, PrepConfig, PrepReport, ThroughputConfig, ThroughputTable,
+    compare_alpha_gate, compare_gate, compare_label_gate, dimacs_graph, dimacs_workload,
+    render_alpha_table, render_partition_table, render_prep_table, render_table,
+    render_throughput_table, run_alpha, run_alpha_gate, run_alpha_on_graph, run_gate,
+    run_label_gate, run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput,
+    AlphaConfig, AlphaGateConfig, AlphaReport, AlphaSettledBaseline, Experiment, ExperimentConfig,
+    ExperimentTable, GateBaseline, GateConfig, LabelBaseline, LabelGateConfig, PartitionConfig,
+    PartitionTable, PrepConfig, PrepReport, ThroughputConfig, ThroughputTable, ALPHA_ID,
     GATE_TOLERANCE, PARTITION_ID, PREP_ID, THROUGHPUT_ID,
 };
 use std::path::{Path, PathBuf};
@@ -46,10 +48,12 @@ fn main() -> ExitCode {
     let mut throughput_config = ThroughputConfig::default();
     let mut partition_config = PartitionConfig::default();
     let mut prep_config = PrepConfig::default();
+    let mut alpha_config = AlphaConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut with_throughput = false;
     let mut with_partition = false;
     let mut with_prep = false;
+    let mut with_alpha = false;
     let mut dimacs: Option<String> = None;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
@@ -61,6 +65,45 @@ fn main() -> ExitCode {
             id if id == THROUGHPUT_ID => with_throughput = true,
             id if id == PARTITION_ID => with_partition = true,
             id if id == PREP_ID => with_prep = true,
+            id if id == ALPHA_ID => with_alpha = true,
+            "--alpha-nodes" => {
+                let list: String = expect_value(&args, &mut i, "--alpha-nodes");
+                match parse_worker_list(&list) {
+                    Some(nodes) => alpha_config.nodes = nodes,
+                    None => {
+                        eprintln!("--alpha-nodes expects a comma-separated list, e.g. 250,500");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--alpha-dims" => {
+                let list: String = expect_value(&args, &mut i, "--alpha-dims");
+                match parse_worker_list(&list) {
+                    Some(dims) => alpha_config.dims = dims,
+                    None => {
+                        eprintln!("--alpha-dims expects a comma-separated list, e.g. 2,3,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--alpha-pairs" => {
+                alpha_config.pairs = expect_value(&args, &mut i, "--alpha-pairs");
+            }
+            "--alpha-users" => {
+                alpha_config.users = expect_value(&args, &mut i, "--alpha-users");
+            }
+            "--alpha-batch" => {
+                alpha_config.batch = expect_value(&args, &mut i, "--alpha-batch");
+            }
+            "--alpha-targets" => {
+                alpha_config.targets = expect_value(&args, &mut i, "--alpha-targets");
+            }
+            "--alpha-cache" => {
+                alpha_config.cache_capacity = expect_value(&args, &mut i, "--alpha-cache");
+            }
+            "--no-alpha-asserts" => {
+                alpha_config.assert_improvements = false;
+            }
             "--prep-nodes" => {
                 let list: String = expect_value(&args, &mut i, "--prep-nodes");
                 match parse_worker_list(&list) {
@@ -172,8 +215,9 @@ fn main() -> ExitCode {
         with_throughput = true;
         with_partition = true;
         with_prep = true;
+        with_alpha = true;
     }
-    if selected.is_empty() && !with_throughput && !with_partition && !with_prep {
+    if selected.is_empty() && !with_throughput && !with_partition && !with_prep && !with_alpha {
         eprintln!("nothing to run");
         print_usage();
         return ExitCode::from(2);
@@ -185,9 +229,12 @@ fn main() -> ExitCode {
     partition_config.seed = config.seed;
     prep_config.seed = config.seed;
     prep_config.workers = partition_config.workers;
+    alpha_config.seed = config.seed;
+    alpha_config.workers = partition_config.workers;
     if let Some(path) = &dimacs {
         partition_config.source = path.clone();
         prep_config.source = path.clone();
+        alpha_config.source = path.clone();
     }
 
     if out_dir.is_some() && check_dir.is_some() {
@@ -195,7 +242,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if let Some(dir) = check_dir {
-        return check_tables(&dir, &selected, with_throughput, with_partition, with_prep);
+        return check_tables(
+            &dir,
+            &selected,
+            with_throughput,
+            with_partition,
+            with_prep,
+            with_alpha,
+        );
     }
 
     if let Some(dir) = &out_dir {
@@ -276,23 +330,45 @@ fn main() -> ExitCode {
             }
         }
     }
+    if with_alpha {
+        let table = match &dimacs {
+            Some(path) => match dimacs_graph(path) {
+                Ok(graph) => run_alpha_on_graph(&alpha_config, &graph),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => run_alpha(&alpha_config),
+        };
+        println!("{}", render_alpha_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_alpha_table(dir, &table) {
+                eprintln!("failed to persist table {ALPHA_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
-/// `experiments gate --baseline FILE [--labels FILE] [--update]`:
-/// re-measure the deterministic mean logical reads of every figure point
-/// (and, with `--labels`, the prep experiment's mean label counts) and fail
-/// on a > 2 % regression against the checked-in baselines (`--update`
+/// `experiments gate --baseline FILE [--labels FILE] [--alpha FILE]
+/// [--update]`: re-measure the deterministic mean logical reads of every
+/// figure point (and, with `--labels`, the prep experiment's mean label
+/// counts; with `--alpha`, the scalarized tier's mean settled nodes) and
+/// fail on a > 2 % regression against the checked-in baselines (`--update`
 /// rewrites them instead).
 fn run_gate_command(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut labels_path: Option<PathBuf> = None;
+    let mut alpha_path: Option<PathBuf> = None;
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--baseline" => baseline_path = Some(expect_value(args, &mut i, "--baseline")),
             "--labels" => labels_path = Some(expect_value(args, &mut i, "--labels")),
+            "--alpha" => alpha_path = Some(expect_value(args, &mut i, "--alpha")),
             "--update" => update = true,
             other => {
                 eprintln!("unknown gate flag: {other}");
@@ -301,8 +377,8 @@ fn run_gate_command(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    if baseline_path.is_none() && labels_path.is_none() {
-        eprintln!("gate requires --baseline FILE and/or --labels FILE");
+    if baseline_path.is_none() && labels_path.is_none() && alpha_path.is_none() {
+        eprintln!("gate requires --baseline FILE, --labels FILE and/or --alpha FILE");
         return ExitCode::from(2);
     }
 
@@ -340,6 +416,24 @@ fn run_gate_command(args: &[String]) -> ExitCode {
             };
             points += current.points.len();
             violations.extend(compare_label_gate(&current, &baseline, GATE_TOLERANCE));
+        }
+    }
+    if let Some(path) = &alpha_path {
+        let current = run_alpha_gate(&AlphaGateConfig::default());
+        if update {
+            if let Err(e) = std::fs::write(path, current.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote alpha baseline {}", path.display());
+        } else {
+            let baseline: AlphaSettledBaseline =
+                match load_baseline(path, AlphaSettledBaseline::from_json) {
+                    Ok(baseline) => baseline,
+                    Err(code) => return code,
+                };
+            points += current.points.len();
+            violations.extend(compare_alpha_gate(&current, &baseline, GATE_TOLERANCE));
         }
     }
     if update {
@@ -461,6 +555,18 @@ fn persist_prep_table(dir: &Path, table: &PrepReport) -> Result<(), String> {
     )
 }
 
+/// Writes the alpha `table` to `DIR/alpha.json` with the same read-back
+/// verification as the figure tables.
+fn persist_alpha_table(dir: &Path, table: &AlphaReport) -> Result<(), String> {
+    persist_report(
+        dir,
+        ALPHA_ID,
+        table,
+        AlphaReport::to_json,
+        AlphaReport::from_json,
+    )
+}
+
 /// Loads `DIR/<id>.json`, verifying that the stored id matches and that
 /// re-serializing the parsed value reproduces the file byte-for-byte (the
 /// serializer is deterministic, so byte equality across processes proves a
@@ -500,6 +606,7 @@ fn check_tables(
     with_throughput: bool,
     with_partition: bool,
     with_prep: bool,
+    with_alpha: bool,
 ) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
@@ -562,6 +669,21 @@ fn check_tables(
             }
         }
     }
+    if with_alpha {
+        match load_report(
+            dir,
+            ALPHA_ID,
+            AlphaReport::to_json,
+            AlphaReport::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_alpha_table(&table)),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
         ExitCode::FAILURE
@@ -586,9 +708,10 @@ fn print_usage() {
          \x20                [--batch N] [--workers LIST] [--out DIR] [--check DIR]\n\
          \x20                [--regions LIST] [--partition-workers N] [--dimacs PATH]\n\
          \x20                [--prep-nodes LIST] [--prep-dims LIST] [--prep-pairs N]\n\
-         \x20                [--no-prep-asserts]\n\
-         \x20      experiments gate --baseline FILE [--labels FILE] [--update]\n\
-         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}\n\
+         \x20                [--no-prep-asserts] [--alpha-nodes LIST] [--alpha-dims LIST]\n\
+         \x20                [--alpha-pairs N] [--alpha-users N] [--no-alpha-asserts]\n\
+         \x20      experiments gate --baseline FILE [--labels FILE] [--alpha FILE] [--update]\n\
+         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}, {ALPHA_ID}\n\
          --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
          \x20              verify the written file re-parses to the in-memory table\n\
          --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
@@ -614,9 +737,20 @@ fn print_usage() {
          \x20              least the target count or the warm run degrades to cold)\n\
          --no-prep-asserts  skip {PREP_ID}'s ≥2x-label-reduction and warm>cold QPS\n\
          \x20              assertions (result-equality assertions always run)\n\
+         --alpha-nodes LIST  network sizes swept by {ALPHA_ID}, e.g. 250,500 (default)\n\
+         --alpha-dims LIST   cost dimensions swept by {ALPHA_ID}, e.g. 2,3,4 (default)\n\
+         --alpha-pairs N     source/target pairs measured per {ALPHA_ID} point (default 6)\n\
+         --alpha-users N     preference vectors per {ALPHA_ID} pair (default 6)\n\
+         --alpha-batch N     requests in the {ALPHA_ID} engine batch (default 96)\n\
+         --alpha-targets N   distinct targets the {ALPHA_ID} batch cycles over (default 24)\n\
+         --alpha-cache N     {ALPHA_ID} prep-table cache capacity (default 32)\n\
+         --no-alpha-asserts  skip {ALPHA_ID}'s ≥2x-settled-reduction, ≥10x skyline\n\
+         \x20              advantage and warm>cold QPS assertions (A* = Dijkstra\n\
+         \x20              byte-identical routes are always asserted)\n\
          gate           re-measure mean logical page reads of every figure point\n\
-         \x20              (--baseline) and/or the {PREP_ID} experiment's mean label counts\n\
-         \x20              (--labels) and fail on >{:.0}% regression vs the checked-in JSON",
+         \x20              (--baseline), the {PREP_ID} experiment's mean label counts\n\
+         \x20              (--labels) and/or the {ALPHA_ID} tier's mean settled nodes\n\
+         \x20              (--alpha) and fail on >{:.0}% regression vs the checked-in JSON",
         Experiment::all()
             .iter()
             .map(|e| e.id())

@@ -21,7 +21,16 @@
 //! and `experiments gate --labels FILE` fails when either regresses by
 //! more than the tolerance (a prepped regression means the pruning got
 //! weaker, an exhaustive one that the baseline search got more wasteful).
+//!
+//! The scalarized serving tier gets the same treatment: **nodes settled
+//! are deterministic** for the seeded (pair, α) queries, so a third
+//! baseline (`alpha_settled.json`, see [`AlphaSettledBaseline`]) stores
+//! the mean settled counts of plain Dijkstra and prep-backed A* plus the
+//! skyline's labels on the same pairs, and `experiments gate --alpha FILE`
+//! fails when any of them regresses (an A* regression means the α·L(v)
+//! heuristic got weaker).
 
+use crate::alpha::{measure_scalarized, ScalarMetrics};
 use crate::experiments::{Experiment, ExperimentConfig};
 use crate::prep::{measure_labels, LabelMetrics};
 use mcn_gen::{generate_workload, CostDistribution, WorkloadSpec};
@@ -343,6 +352,161 @@ pub fn compare_label_gate(
     violations
 }
 
+/// The fixed configuration of the alpha settled-node gate (stored in the
+/// baseline file and cross-checked before comparing numbers).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlphaGateConfig {
+    /// Nodes of the seeded gate network.
+    pub nodes: usize,
+    /// Cost dimensions measured.
+    pub dims: Vec<usize>,
+    /// Source/target pairs per dimension.
+    pub pairs: usize,
+    /// Preference vectors per pair.
+    pub users: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AlphaGateConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 150,
+            dims: vec![2, 3, 4],
+            pairs: 3,
+            users: 3,
+            seed: 2010,
+        }
+    }
+}
+
+/// One dimension's deterministic scalarized-search cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlphaGatePoint {
+    /// The point's label (e.g. `"d = 3"`).
+    pub label: String,
+    /// Mean nodes settled per (pair, α) query by heuristic-free Dijkstra.
+    pub dijkstra_settled: f64,
+    /// Mean nodes settled per (pair, α) query by prep-backed A*.
+    pub astar_settled: f64,
+    /// Mean labels created per pair by the prepped path skyline on the
+    /// same pairs (pins the serving tier's advantage over the explore
+    /// tier).
+    pub skyline_labels: f64,
+}
+
+/// The checked-in alpha baseline: configuration plus one point per
+/// dimension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlphaSettledBaseline {
+    /// The configuration the numbers belong to.
+    pub config: AlphaGateConfig,
+    /// One entry per swept dimension.
+    pub points: Vec<AlphaGatePoint>,
+}
+
+impl AlphaSettledBaseline {
+    /// Serializes the baseline as indented JSON (the checked-in format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Re-measures the alpha gate: mean nodes settled per seeded (pair, α)
+/// query with and without the prep heuristic, per cost dimension.
+/// Byte-identical A*/Dijkstra routes are asserted inside
+/// [`measure_scalarized`] on every run.
+pub fn run_alpha_gate(config: &AlphaGateConfig) -> AlphaSettledBaseline {
+    let points = config
+        .dims
+        .iter()
+        .map(|&d| {
+            let workload = generate_workload(&WorkloadSpec {
+                nodes: config.nodes,
+                facilities: (config.nodes / 5).max(10),
+                cost_types: d,
+                distribution: CostDistribution::AntiCorrelated,
+                clusters: 4,
+                queries: 4,
+                seed: config.seed,
+            });
+            let metrics: ScalarMetrics =
+                measure_scalarized(&workload.graph, config.pairs, config.users, config.seed);
+            AlphaGatePoint {
+                label: format!("d = {d}"),
+                dijkstra_settled: metrics.dijkstra_settled,
+                astar_settled: metrics.astar_settled,
+                skyline_labels: metrics.skyline_labels,
+            }
+        })
+        .collect();
+    AlphaSettledBaseline {
+        config: config.clone(),
+        points,
+    }
+}
+
+/// Compares a fresh alpha-gate run against the checked-in baseline.
+/// Returns one message per violation (empty = gate passed); improvements
+/// never fail (refresh with `--update` to lock them in).
+pub fn compare_alpha_gate(
+    current: &AlphaSettledBaseline,
+    baseline: &AlphaSettledBaseline,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.config != baseline.config {
+        violations.push(format!(
+            "alpha gate configuration changed: baseline {:?} vs current {:?} \
+             (re-create the baseline)",
+            baseline.config, current.config
+        ));
+        return violations;
+    }
+    if current.points.len() != baseline.points.len() {
+        violations.push(format!(
+            "alpha gate point count changed: baseline {} vs current {} \
+             (re-create the baseline)",
+            baseline.points.len(),
+            current.points.len()
+        ));
+        return violations;
+    }
+    for (cp, bp) in current.points.iter().zip(&baseline.points) {
+        if cp.label != bp.label {
+            violations.push(format!(
+                "alpha gate point label changed: `{}` vs `{}`",
+                bp.label, cp.label
+            ));
+            continue;
+        }
+        for (kind, current_cost, baseline_cost) in [
+            ("dijkstra settled", cp.dijkstra_settled, bp.dijkstra_settled),
+            ("astar settled", cp.astar_settled, bp.astar_settled),
+            ("skyline labels", cp.skyline_labels, bp.skyline_labels),
+        ] {
+            if current_cost > baseline_cost * (1.0 + tolerance) {
+                violations.push(format!(
+                    "alpha [{}] {kind}: {current_cost:.1} vs baseline \
+                     {baseline_cost:.1} (+{:.1}% > {:.0}% allowed)",
+                    cp.label,
+                    (current_cost / baseline_cost - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +649,82 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.points[0].prepped_labels <= a.points[0].exhaustive_labels);
         assert!(a.points[0].prepped_labels > 0.0);
+    }
+
+    /// A two-point alpha baseline for the comparison tests.
+    fn small_alpha_baseline() -> AlphaSettledBaseline {
+        AlphaSettledBaseline {
+            config: AlphaGateConfig::default(),
+            points: vec![
+                AlphaGatePoint {
+                    label: "d = 2".into(),
+                    dijkstra_settled: 100.0,
+                    astar_settled: 30.0,
+                    skyline_labels: 600.0,
+                },
+                AlphaGatePoint {
+                    label: "d = 3".into(),
+                    dijkstra_settled: 110.0,
+                    astar_settled: 40.0,
+                    skyline_labels: 1400.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn alpha_gate_passes_jitter_fails_regressions() {
+        let base = small_alpha_baseline();
+        assert!(compare_alpha_gate(&base, &base, GATE_TOLERANCE).is_empty());
+        let mut current = base.clone();
+        current.points[0].astar_settled = 30.5; // +1.7 %
+        current.points[1].dijkstra_settled = 100.0; // improvement
+        assert!(compare_alpha_gate(&current, &base, GATE_TOLERANCE).is_empty());
+        current.points[1].astar_settled = 44.0; // +10 %
+        let violations = compare_alpha_gate(&current, &base, GATE_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("d = 3"));
+        assert!(violations[0].contains("astar settled"));
+    }
+
+    #[test]
+    fn alpha_gate_reports_config_and_shape_changes() {
+        let base = small_alpha_baseline();
+        let mut current = base.clone();
+        current.config.users = 9;
+        assert!(compare_alpha_gate(&current, &base, GATE_TOLERANCE)[0].contains("configuration"));
+        let mut current = base.clone();
+        current.points.pop();
+        assert!(compare_alpha_gate(&current, &base, GATE_TOLERANCE)[0].contains("point count"));
+        let mut current = base.clone();
+        current.points[0].label = "d = 9".into();
+        assert!(compare_alpha_gate(&current, &base, GATE_TOLERANCE)[0].contains("label changed"));
+    }
+
+    #[test]
+    fn alpha_baseline_round_trips_through_json() {
+        let b = small_alpha_baseline();
+        let json = b.to_json();
+        let parsed = AlphaSettledBaseline::from_json(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn run_alpha_gate_is_deterministic() {
+        let config = AlphaGateConfig {
+            nodes: 80,
+            dims: vec![2],
+            pairs: 2,
+            users: 2,
+            seed: 2010,
+        };
+        let a = run_alpha_gate(&config);
+        let b = run_alpha_gate(&config);
+        assert_eq!(a, b);
+        assert!(a.points[0].astar_settled <= a.points[0].dijkstra_settled);
+        assert!(a.points[0].astar_settled > 0.0);
+        assert!(a.points[0].skyline_labels > 0.0);
     }
 
     #[test]

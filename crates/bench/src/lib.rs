@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alpha;
 pub mod experiments;
 pub mod gate;
 pub mod measure;
@@ -30,10 +31,15 @@ pub mod report;
 pub mod requests;
 pub mod throughput;
 
+pub use alpha::{
+    measure_scalarized, render_alpha_table, run_alpha, run_alpha_on_graph, AlphaConfig,
+    AlphaReport, AlphaRow, ScalarMetrics, ALPHA_ID, MIN_SETTLED_REDUCTION, MIN_SKYLINE_ADVANTAGE,
+};
 pub use experiments::{all_experiments, Experiment, ExperimentConfig};
 pub use gate::{
-    compare_gate, compare_label_gate, run_gate, run_label_gate, GateBaseline, GateConfig,
-    GatePoint, GateTable, LabelBaseline, LabelGateConfig, LabelGatePoint, GATE_TOLERANCE,
+    compare_alpha_gate, compare_gate, compare_label_gate, run_alpha_gate, run_gate, run_label_gate,
+    AlphaGateConfig, AlphaGatePoint, AlphaSettledBaseline, GateBaseline, GateConfig, GatePoint,
+    GateTable, LabelBaseline, LabelGateConfig, LabelGatePoint, GATE_TOLERANCE,
 };
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
 pub use partition::{

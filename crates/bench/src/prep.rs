@@ -137,6 +137,8 @@ pub struct PrepRow {
     /// Cache misses — backward scans actually executed — over the same
     /// cold + warm cycle as [`PrepRow::cache_hits`].
     pub cache_misses: u64,
+    /// `hits / (hits + misses)` of the same cold + warm cycle.
+    pub cache_hit_ratio: f64,
 }
 
 /// The persisted prep report.
@@ -379,6 +381,14 @@ fn measure_point(graph: Arc<MultiCostGraph>, config: &PrepConfig) -> PrepRow {
         }),
         cache_hits,
         cache_misses,
+        cache_hit_ratio: json_safe(
+            mcn_prep::PrepCacheStats {
+                hits: cache_hits,
+                misses: cache_misses,
+                evictions: 0,
+            }
+            .hit_ratio(),
+        ),
     };
     if config.assert_improvements {
         if d == 3 {

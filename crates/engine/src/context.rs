@@ -6,6 +6,7 @@ use mcn_prep::{PrepCache, PrepCacheStats, PrepTable};
 use std::sync::Arc;
 
 /// Everything the engine needs to serve [`crate::QueryRequest::PathSkyline`]
+/// and [`crate::QueryRequest::AlphaPath`]
 /// requests: the multi-cost graph the paths run over and a bounded LRU
 /// [`PrepCache`] so concurrent batches towards popular targets share one
 /// backward scan.

@@ -3,6 +3,7 @@
 use crate::context::PathContext;
 use crate::request::{QueryOutcome, QueryRequest};
 use mcn_graph::RegionId;
+use mcn_prep::PrepCacheStats;
 use mcn_storage::{with_seed_region, IoStats, MCNStore, PartitionedStore, StoreView};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -32,6 +33,10 @@ pub struct BatchStats {
     /// worker was already serving (the no-starvation path; zero for FIFO
     /// batches).
     pub affine_steals: u64,
+    /// Prep-table cache activity over this batch (hits/misses/evictions
+    /// delta of the attached [`PathContext`]'s cache; all-zero when the
+    /// engine has no path context or the batch had no path queries).
+    pub prep_cache: PrepCacheStats,
 }
 
 /// A batch of outcomes plus its aggregate statistics. `outcomes[i]` belongs
@@ -224,6 +229,11 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
     ) -> BatchResult {
         let n = requests.len();
         let io_before = self.store.io_stats();
+        let prep_before = self
+            .paths
+            .as_deref()
+            .map(|ctx| ctx.cache_stats())
+            .unwrap_or_default();
         let started = Instant::now();
         let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let affine_hits = AtomicU64::new(0);
@@ -305,6 +315,11 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
 
         let wall = started.elapsed();
         let io = self.store.io_stats() - io_before;
+        let prep_cache = self
+            .paths
+            .as_deref()
+            .map(|ctx| ctx.cache_stats().since(&prep_before))
+            .unwrap_or_default();
         let outcomes: Vec<QueryOutcome> = slots
             .into_iter()
             .map(|slot| {
@@ -327,6 +342,7 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
                 io,
                 affine_hits: affine_hits.into_inner(),
                 affine_steals: affine_steals.into_inner(),
+                prep_cache,
             },
         }
     }
@@ -654,6 +670,90 @@ mod tests {
             source: mcn_graph::NodeId::new(0),
             target: mcn_graph::NodeId::new(1),
         });
+    }
+
+    /// Mixed serving-tier traffic: alpha-path requests interleaved with
+    /// path-skyline and skyline requests in one batch, exercising the
+    /// per-user preference route through the shared prep cache.
+    fn mixed_alpha_fixture() -> (Arc<MCNStore>, Arc<crate::PathContext>, Vec<QueryRequest>) {
+        let (store, ctx, mut requests) = path_fixture();
+        let n = ctx.graph().num_nodes();
+        let d = ctx.graph().num_cost_types();
+        let mut rng = ChaCha8Rng::seed_from_u64(311);
+        let targets: Vec<mcn_graph::NodeId> = requests
+            .iter()
+            .filter_map(|r| match r {
+                QueryRequest::PathSkyline { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        for i in 0..12 {
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.05..1.0)).collect();
+            requests.push(QueryRequest::AlphaPath {
+                source: mcn_graph::NodeId::from(rng.gen_range(0..n)),
+                target: targets[i % targets.len()],
+                alpha: mcn_alpha::Preference::new(&weights).unwrap(),
+            });
+        }
+        (store, ctx, requests)
+    }
+
+    #[test]
+    fn alpha_path_batches_match_serial_and_report_cache_stats() {
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        let serial = QueryEngine::new(store.clone(), 1)
+            .with_path_context(ctx.clone())
+            .run_batch(&requests);
+        ctx.clear_cache();
+        let concurrent = QueryEngine::new(store, 4)
+            .with_path_context(ctx.clone())
+            .run_batch(&requests);
+        assert_eq!(fingerprints(&serial), fingerprints(&concurrent));
+        for (request, outcome) in requests.iter().zip(&serial.outcomes) {
+            if let QueryRequest::AlphaPath { .. } = request {
+                assert_eq!(request.kind(), "alpha-path");
+                assert_eq!(outcome.stats.algorithm, "alpha-astar");
+                assert!(matches!(outcome.output, QueryOutput::AlphaPath(_)));
+                assert_eq!(outcome.stats.result_size, outcome.output.len());
+            }
+        }
+        // The batch-level prep-cache delta reconciles: every path-flavored
+        // request was one cache lookup, and the warm repeats were hits.
+        let cache = serial.stats.prep_cache;
+        assert!(cache.hits + cache.misses >= 24);
+        assert!(cache.hits > 0);
+        assert!(cache.hit_ratio() > 0.0);
+        // A batch with no path context reports a zeroed delta.
+        let (plain_store, plain_requests) = fixture();
+        let plain = QueryEngine::new(plain_store, 2).run_batch(&plain_requests);
+        assert_eq!(plain.stats.prep_cache, mcn_prep::PrepCacheStats::default());
+    }
+
+    #[test]
+    fn engine_alpha_route_matches_direct_dijkstra() {
+        // The engine's prep-backed A* answer must be the same route plain
+        // Dijkstra finds without any engine or cache in the loop.
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        let engine = QueryEngine::new(store, 2).with_path_context(ctx.clone());
+        for request in &requests {
+            if let QueryRequest::AlphaPath {
+                source,
+                target,
+                alpha,
+            } = request
+            {
+                let outcome = engine.run_one(request);
+                let direct = mcn_alpha::scalarized_path(ctx.graph(), *source, *target, alpha);
+                match (&outcome.output, direct.path) {
+                    (QueryOutput::AlphaPath(Some(via_engine)), Some(plain)) => {
+                        assert_eq!(via_engine.edges, plain.edges);
+                        assert_eq!(via_engine.total.to_bits(), plain.total.to_bits());
+                    }
+                    (QueryOutput::AlphaPath(None), None) => {}
+                    other => panic!("engine and direct search disagree: {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! expansion/core layers are `Send` over any store view. The engine adds the
 //! missing scheduling layer:
 //!
-//! * [`QueryRequest`] — a skyline, batch top-k, incremental top-k, or
-//!   path-skyline query, self-contained and cheap to clone.
+//! * [`QueryRequest`] — a skyline, batch top-k, incremental top-k,
+//!   path-skyline, or scalarized alpha-path query, self-contained and
+//!   cheap to clone.
 //! * [`QueryEngine`] — a bounded pool of worker threads draining a batch of
 //!   requests FIFO; each query runs the ordinary single-query algorithm, so
 //!   per-query results are **identical** to serial execution no matter how
@@ -27,7 +28,8 @@
 //!   throughput (QPS, consistent I/O deltas from the striped pool, affine
 //!   claim counters).
 //! * [`PathContext`] — attached via [`QueryEngine::with_path_context`],
-//!   serves [`QueryRequest::PathSkyline`] (multi-criteria Pareto path)
+//!   serves [`QueryRequest::PathSkyline`] (multi-criteria Pareto path) and
+//!   [`QueryRequest::AlphaPath`] (per-user scalarized fastest path)
 //!   requests with the ParetoPrep-pruned search of `mcn-mcpp`, sharing a
 //!   bounded LRU cache of `mcn-prep` tables (one backward scan per target)
 //!   across workers and batches.

@@ -1,6 +1,7 @@
 //! Query requests and their outcomes.
 
 use crate::context::PathContext;
+use mcn_alpha::{scalarized_path_astar, Preference, ScalarPath};
 use mcn_core::{
     skyline_query, topk_query, Algorithm, QueryStats, SkylineFacility, TopKEntry, TopKIter,
     WeightedSum,
@@ -55,6 +56,19 @@ pub enum QueryRequest {
         /// The path's destination node — the prep-table cache key.
         target: NodeId,
     },
+    /// A scalarized fastest-path query — the preference *serving* tier: the
+    /// single α-optimal route for one user's preference vector, answered by
+    /// prep-backed A* (`mcn-alpha`) over the same [`PathContext`] prep
+    /// tables the skyline tier uses. Requires
+    /// [`crate::QueryEngine::with_path_context`].
+    AlphaPath {
+        /// The path's start node.
+        source: NodeId,
+        /// The path's destination node — the prep-table cache key.
+        target: NodeId,
+        /// The user's preference over the d cost types.
+        alpha: Preference,
+    },
 }
 
 impl QueryRequest {
@@ -65,6 +79,7 @@ impl QueryRequest {
             QueryRequest::TopK { .. } => "topk",
             QueryRequest::TopKIncremental { .. } => "topk-inc",
             QueryRequest::PathSkyline { .. } => "path-skyline",
+            QueryRequest::AlphaPath { .. } => "alpha-path",
         }
     }
 
@@ -77,7 +92,9 @@ impl QueryRequest {
             QueryRequest::Skyline { location, .. }
             | QueryRequest::TopK { location, .. }
             | QueryRequest::TopKIncremental { location, .. } => *location,
-            QueryRequest::PathSkyline { source, .. } => NetworkLocation::Node(*source),
+            QueryRequest::PathSkyline { source, .. } | QueryRequest::AlphaPath { source, .. } => {
+                NetworkLocation::Node(*source)
+            }
         }
     }
 
@@ -171,6 +188,28 @@ impl QueryRequest {
                 };
                 (QueryOutput::Paths(run.paths), stats)
             }
+            QueryRequest::AlphaPath {
+                source,
+                target,
+                alpha,
+            } => {
+                let ctx = paths.expect(
+                    "AlphaPath requests need a PathContext — build the engine with                      QueryEngine::with_path_context",
+                );
+                let prep = ctx.table_for(*target);
+                let run = scalarized_path_astar(ctx.graph(), *source, *target, alpha, &prep);
+                // Same stats mapping idea as PathSkyline: candidates = heap
+                // pushes, dominance checks = candidates pruned.
+                let stats = QueryStats {
+                    algorithm: "alpha-astar".to_string(),
+                    nodes_settled: run.stats.settled as usize,
+                    candidates: run.stats.pushed as usize,
+                    dominance_checks: run.stats.pruned as usize,
+                    result_size: usize::from(run.path.is_some()),
+                    ..QueryStats::default()
+                };
+                (QueryOutput::AlphaPath(run.path), stats)
+            }
         };
         QueryOutcome {
             output,
@@ -189,6 +228,9 @@ pub enum QueryOutput {
     TopK(Vec<TopKEntry>),
     /// Pareto-optimal paths in lexicographic cost order.
     Paths(Vec<ParetoLabel>),
+    /// The α-optimal route of a scalarized query (`None` iff the target is
+    /// unreachable).
+    AlphaPath(Option<ScalarPath>),
 }
 
 impl QueryOutput {
@@ -198,6 +240,7 @@ impl QueryOutput {
             QueryOutput::Skyline(v) => v.len(),
             QueryOutput::TopK(v) => v.len(),
             QueryOutput::Paths(v) => v.len(),
+            QueryOutput::AlphaPath(p) => usize::from(p.is_some()),
         }
     }
 
@@ -244,6 +287,22 @@ impl QueryOutput {
                         let _ = write!(out, "{},", e.raw());
                     }
                     out.push(';');
+                }
+            }
+            QueryOutput::AlphaPath(p) => {
+                out.push_str("alpha:");
+                if let Some(p) = p {
+                    let _ = write!(out, "{:016x}@", p.total.to_bits());
+                    for c in p.costs.iter() {
+                        let _ = write!(out, "{:016x},", c.to_bits());
+                    }
+                    out.push('@');
+                    for e in &p.edges {
+                        let _ = write!(out, "{},", e.raw());
+                    }
+                    out.push(';');
+                } else {
+                    out.push_str("none;");
                 }
             }
         }

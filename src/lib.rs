@@ -22,11 +22,14 @@
 //!   ParetoPrep-pruned variant.
 //! * [`prep`] — ParetoPrep precomputation: backward per-cost lower-bound
 //!   scans and the prep-table cache behind the engine's path queries.
+//! * [`alpha`] — the scalarized preference serving tier: per-user α
+//!   weight vectors, prep-backed A* fastest paths, preference estimation.
 //! * [`gen`] — synthetic workload generation matching the paper's Section VI.
 //! * [`io`] — loaders/writers for common road-network file formats.
 
 #![warn(missing_docs)]
 
+pub use mcn_alpha as alpha;
 pub use mcn_core as core;
 pub use mcn_engine as engine;
 pub use mcn_expansion as expansion;

@@ -8,6 +8,7 @@
 //! of every path cost plus the full edge sequences, so equality here is
 //! bit-exact result equality, not approximate agreement.
 
+use mcn::alpha::{scalarized_path, scalarized_path_astar, Preference};
 use mcn::engine::{PathContext, QueryEngine, QueryOutput, QueryRequest};
 use mcn::gen::{generate_workload, WorkloadSpec};
 use mcn::graph::{CostVec, GraphBuilder, MultiCostGraph, NodeId};
@@ -224,6 +225,68 @@ proptest! {
                     bound[i],
                     minima[i]
                 );
+            }
+        }
+    }
+
+    /// The scalarized serving tier inherits the same guarantees: prep-backed
+    /// A* returns the **byte-identical** route and total as heuristic-free
+    /// Dijkstra from every source (while never settling more nodes), and the
+    /// scalarized heuristic α·L(v) never overestimates the true α-shortest
+    /// distance v → target (admissibility of the collapsed bound).
+    #[test]
+    fn scalarized_astar_matches_dijkstra_and_alpha_bounds_are_admissible(
+        d in 2usize..=4,
+        nodes in 3usize..=16,
+        extra in proptest::collection::vec((0u16..64, 0u16..64), 0..8),
+        target_sel in 0u16..64,
+        raw_alpha in proptest::collection::vec(0.01f64..1.0, 4),
+        seed in any::<u64>(),
+    ) {
+        let graph = property_network(d, nodes, &extra, seed);
+        let target = NodeId::from(target_sel as usize % nodes);
+        let alpha = Preference::new(&raw_alpha[..d]).expect("positive weights are valid");
+        let prep = PrepTable::build(&graph, target);
+        for source in (0..nodes).map(NodeId::from) {
+            let plain = scalarized_path(&graph, source, target, &alpha);
+            let fast = scalarized_path_astar(&graph, source, target, &alpha, &prep);
+            prop_assert!(
+                fast.stats.settled <= plain.stats.settled,
+                "the heuristic made A* settle more nodes ({} vs {}) at {source} → {target}",
+                fast.stats.settled,
+                plain.stats.settled
+            );
+            match (plain.path, fast.path) {
+                (Some(p), Some(a)) => {
+                    prop_assert_eq!(
+                        &p.edges,
+                        &a.edges,
+                        "A* route diverged from Dijkstra at {} → {}",
+                        source,
+                        target
+                    );
+                    prop_assert_eq!(
+                        p.total.to_bits(),
+                        a.total.to_bits(),
+                        "A* total diverged from Dijkstra at {} → {}",
+                        source,
+                        target
+                    );
+                    // Admissible: the α-collapsed prep bound never exceeds
+                    // the true scalar distance (up to summation-order ulps,
+                    // the margin the search deflates by).
+                    let h = alpha.cost_of(&prep.bound(source));
+                    prop_assert!(
+                        h <= p.total * (1.0 + 1e-9) + 1e-12,
+                        "α·L({source}) = {h} overestimates the true distance {}",
+                        p.total
+                    );
+                }
+                (None, None) => {}
+                other => prop_assert!(
+                    false,
+                    "A* and Dijkstra disagree on reachability at {source} → {target}: {other:?}"
+                ),
             }
         }
     }
