@@ -22,14 +22,16 @@
 //! failure.
 
 use mcn_bench::{
-    compare_alpha_gate, compare_gate, compare_label_gate, dimacs_graph, dimacs_workload,
-    render_alpha_table, render_partition_table, render_prep_table, render_table,
-    render_throughput_table, run_alpha, run_alpha_gate, run_alpha_on_graph, run_gate,
-    run_label_gate, run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput,
-    AlphaConfig, AlphaGateConfig, AlphaReport, AlphaSettledBaseline, Experiment, ExperimentConfig,
-    ExperimentTable, GateBaseline, GateConfig, LabelBaseline, LabelGateConfig, PartitionConfig,
+    compare_alpha_gate, compare_gate, compare_index_gate, compare_label_gate, dimacs_graph,
+    dimacs_workload, render_alpha_table, render_index_table, render_partition_table,
+    render_prep_table, render_table, render_throughput_table, run_alpha, run_alpha_gate,
+    run_alpha_on_graph, run_gate, run_index, run_index_gate, run_index_on_graph, run_label_gate,
+    run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput, AlphaConfig,
+    AlphaGateConfig, AlphaReport, AlphaSettledBaseline, Experiment, ExperimentConfig,
+    ExperimentTable, GateBaseline, GateConfig, IndexExperimentConfig, IndexGateConfig,
+    IndexLatencyBaseline, IndexReport, LabelBaseline, LabelGateConfig, PartitionConfig,
     PartitionTable, PrepConfig, PrepReport, ThroughputConfig, ThroughputTable, ALPHA_ID,
-    GATE_TOLERANCE, PARTITION_ID, PREP_ID, THROUGHPUT_ID,
+    GATE_TOLERANCE, INDEX_ID, PARTITION_ID, PREP_ID, THROUGHPUT_ID,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -49,11 +51,13 @@ fn main() -> ExitCode {
     let mut partition_config = PartitionConfig::default();
     let mut prep_config = PrepConfig::default();
     let mut alpha_config = AlphaConfig::default();
+    let mut index_config = IndexExperimentConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut with_throughput = false;
     let mut with_partition = false;
     let mut with_prep = false;
     let mut with_alpha = false;
+    let mut with_index = false;
     let mut dimacs: Option<String> = None;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
@@ -66,6 +70,39 @@ fn main() -> ExitCode {
             id if id == PARTITION_ID => with_partition = true,
             id if id == PREP_ID => with_prep = true,
             id if id == ALPHA_ID => with_alpha = true,
+            id if id == INDEX_ID => with_index = true,
+            "--index-nodes" => {
+                let list: String = expect_value(&args, &mut i, "--index-nodes");
+                match parse_worker_list(&list) {
+                    Some(nodes) => index_config.nodes = nodes,
+                    None => {
+                        eprintln!("--index-nodes expects a comma-separated list, e.g. 150,250");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--index-dims" => {
+                let list: String = expect_value(&args, &mut i, "--index-dims");
+                match parse_worker_list(&list) {
+                    Some(dims) => index_config.dims = dims,
+                    None => {
+                        eprintln!("--index-dims expects a comma-separated list, e.g. 2,3,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--index-pairs" => {
+                index_config.pairs = expect_value(&args, &mut i, "--index-pairs");
+            }
+            "--index-users" => {
+                index_config.users = expect_value(&args, &mut i, "--index-users");
+            }
+            "--index-regions" => {
+                index_config.regions = expect_value(&args, &mut i, "--index-regions");
+            }
+            "--no-index-asserts" => {
+                index_config.assert_improvements = false;
+            }
             "--alpha-nodes" => {
                 let list: String = expect_value(&args, &mut i, "--alpha-nodes");
                 match parse_worker_list(&list) {
@@ -216,8 +253,15 @@ fn main() -> ExitCode {
         with_partition = true;
         with_prep = true;
         with_alpha = true;
+        with_index = true;
     }
-    if selected.is_empty() && !with_throughput && !with_partition && !with_prep && !with_alpha {
+    if selected.is_empty()
+        && !with_throughput
+        && !with_partition
+        && !with_prep
+        && !with_alpha
+        && !with_index
+    {
         eprintln!("nothing to run");
         print_usage();
         return ExitCode::from(2);
@@ -231,10 +275,12 @@ fn main() -> ExitCode {
     prep_config.workers = partition_config.workers;
     alpha_config.seed = config.seed;
     alpha_config.workers = partition_config.workers;
+    index_config.seed = config.seed;
     if let Some(path) = &dimacs {
         partition_config.source = path.clone();
         prep_config.source = path.clone();
         alpha_config.source = path.clone();
+        index_config.source = path.clone();
     }
 
     if out_dir.is_some() && check_dir.is_some() {
@@ -249,6 +295,7 @@ fn main() -> ExitCode {
             with_partition,
             with_prep,
             with_alpha,
+            with_index,
         );
     }
 
@@ -349,19 +396,40 @@ fn main() -> ExitCode {
             }
         }
     }
+    if with_index {
+        let table = match &dimacs {
+            Some(path) => match dimacs_graph(path) {
+                Ok(graph) => run_index_on_graph(&index_config, &graph),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => run_index(&index_config),
+        };
+        println!("{}", render_index_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_index_table(dir, &table) {
+                eprintln!("failed to persist table {INDEX_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
 /// `experiments gate --baseline FILE [--labels FILE] [--alpha FILE]
-/// [--update]`: re-measure the deterministic mean logical reads of every
-/// figure point (and, with `--labels`, the prep experiment's mean label
-/// counts; with `--alpha`, the scalarized tier's mean settled nodes) and
-/// fail on a > 2 % regression against the checked-in baselines (`--update`
-/// rewrites them instead).
+/// [--index FILE] [--update]`: re-measure the deterministic mean logical
+/// reads of every figure point (and, with `--labels`, the prep experiment's
+/// mean label counts; with `--alpha`, the scalarized tier's mean settled
+/// nodes; with `--index`, the route index's settled-node and arc-entry
+/// counters) and fail on a > 2 % regression against the checked-in
+/// baselines (`--update` rewrites them instead).
 fn run_gate_command(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut labels_path: Option<PathBuf> = None;
     let mut alpha_path: Option<PathBuf> = None;
+    let mut index_path: Option<PathBuf> = None;
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
@@ -369,6 +437,7 @@ fn run_gate_command(args: &[String]) -> ExitCode {
             "--baseline" => baseline_path = Some(expect_value(args, &mut i, "--baseline")),
             "--labels" => labels_path = Some(expect_value(args, &mut i, "--labels")),
             "--alpha" => alpha_path = Some(expect_value(args, &mut i, "--alpha")),
+            "--index" => index_path = Some(expect_value(args, &mut i, "--index")),
             "--update" => update = true,
             other => {
                 eprintln!("unknown gate flag: {other}");
@@ -377,8 +446,12 @@ fn run_gate_command(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    if baseline_path.is_none() && labels_path.is_none() && alpha_path.is_none() {
-        eprintln!("gate requires --baseline FILE, --labels FILE and/or --alpha FILE");
+    if baseline_path.is_none()
+        && labels_path.is_none()
+        && alpha_path.is_none()
+        && index_path.is_none()
+    {
+        eprintln!("gate requires --baseline FILE, --labels FILE, --alpha FILE and/or --index FILE");
         return ExitCode::from(2);
     }
 
@@ -434,6 +507,24 @@ fn run_gate_command(args: &[String]) -> ExitCode {
                 };
             points += current.points.len();
             violations.extend(compare_alpha_gate(&current, &baseline, GATE_TOLERANCE));
+        }
+    }
+    if let Some(path) = &index_path {
+        let current = run_index_gate(&IndexGateConfig::default());
+        if update {
+            if let Err(e) = std::fs::write(path, current.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote index baseline {}", path.display());
+        } else {
+            let baseline: IndexLatencyBaseline =
+                match load_baseline(path, IndexLatencyBaseline::from_json) {
+                    Ok(baseline) => baseline,
+                    Err(code) => return code,
+                };
+            points += current.points.len();
+            violations.extend(compare_index_gate(&current, &baseline, GATE_TOLERANCE));
         }
     }
     if update {
@@ -567,6 +658,18 @@ fn persist_alpha_table(dir: &Path, table: &AlphaReport) -> Result<(), String> {
     )
 }
 
+/// Writes the index `table` to `DIR/index.json` with the same read-back
+/// verification as the figure tables.
+fn persist_index_table(dir: &Path, table: &IndexReport) -> Result<(), String> {
+    persist_report(
+        dir,
+        INDEX_ID,
+        table,
+        IndexReport::to_json,
+        IndexReport::from_json,
+    )
+}
+
 /// Loads `DIR/<id>.json`, verifying that the stored id matches and that
 /// re-serializing the parsed value reproduces the file byte-for-byte (the
 /// serializer is deterministic, so byte equality across processes proves a
@@ -600,6 +703,7 @@ fn load_report<T>(
 
 /// Loads each selected table from `DIR/<id>.json`, verifies the lossless
 /// round-trip and renders it.
+#[allow(clippy::too_many_arguments)]
 fn check_tables(
     dir: &Path,
     selected: &[Experiment],
@@ -607,6 +711,7 @@ fn check_tables(
     with_partition: bool,
     with_prep: bool,
     with_alpha: bool,
+    with_index: bool,
 ) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
@@ -684,6 +789,21 @@ fn check_tables(
             }
         }
     }
+    if with_index {
+        match load_report(
+            dir,
+            INDEX_ID,
+            IndexReport::to_json,
+            IndexReport::from_json,
+            |t| &t.id,
+        ) {
+            Ok(table) => println!("{}", render_index_table(&table)),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
         ExitCode::FAILURE
@@ -710,8 +830,11 @@ fn print_usage() {
          \x20                [--prep-nodes LIST] [--prep-dims LIST] [--prep-pairs N]\n\
          \x20                [--no-prep-asserts] [--alpha-nodes LIST] [--alpha-dims LIST]\n\
          \x20                [--alpha-pairs N] [--alpha-users N] [--no-alpha-asserts]\n\
-         \x20      experiments gate --baseline FILE [--labels FILE] [--alpha FILE] [--update]\n\
-         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}, {ALPHA_ID}\n\
+         \x20                [--index-nodes LIST] [--index-dims LIST] [--index-pairs N]\n\
+         \x20                [--index-users N] [--index-regions N] [--no-index-asserts]\n\
+         \x20      experiments gate --baseline FILE [--labels FILE] [--alpha FILE]\n\
+         \x20                [--index FILE] [--update]\n\
+         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}, {ALPHA_ID}, {INDEX_ID}\n\
          --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
          \x20              verify the written file re-parses to the in-memory table\n\
          --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
@@ -747,10 +870,22 @@ fn print_usage() {
          --no-alpha-asserts  skip {ALPHA_ID}'s ≥2x-settled-reduction, ≥10x skyline\n\
          \x20              advantage and warm>cold QPS assertions (A* = Dijkstra\n\
          \x20              byte-identical routes are always asserted)\n\
+         --index-nodes LIST  network sizes swept by {INDEX_ID}, e.g. 150,250 (default)\n\
+         --index-dims LIST   cost dimensions swept by {INDEX_ID}, e.g. 2,3,4 (default)\n\
+         --index-pairs N     source/target pairs measured per {INDEX_ID} point (default 6)\n\
+         --index-users N     preference vectors per {INDEX_ID} pair (default 6)\n\
+         --index-regions N   parallel build regions of the {INDEX_ID} hierarchy\n\
+         \x20              (default 1 = sequential; partitioned builds need a larger\n\
+         \x20              bundle cap to stay exact at d = 4)\n\
+         --no-index-asserts  skip {INDEX_ID}'s exact-build and >=10x cold settled-node\n\
+         \x20              reduction assertions (byte-identical routes vs the prep\n\
+         \x20              tier are always asserted)\n\
          gate           re-measure mean logical page reads of every figure point\n\
          \x20              (--baseline), the {PREP_ID} experiment's mean label counts\n\
-         \x20              (--labels) and/or the {ALPHA_ID} tier's mean settled nodes\n\
-         \x20              (--alpha) and fail on >{:.0}% regression vs the checked-in JSON",
+         \x20              (--labels), the {ALPHA_ID} tier's mean settled nodes\n\
+         \x20              (--alpha) and/or the {INDEX_ID} settled-node and arc-entry\n\
+         \x20              counters (--index) and fail on >{:.0}% regression vs the\n\
+         \x20              checked-in JSON",
         Experiment::all()
             .iter()
             .map(|e| e.id())

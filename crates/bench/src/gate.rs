@@ -29,9 +29,19 @@
 //! skyline's labels on the same pairs, and `experiments gate --alpha FILE`
 //! fails when any of them regresses (an A* regression means the α·L(v)
 //! heuristic got weaker).
+//!
+//! The route index rides the same rails: **its settled counts and its size
+//! are deterministic** (the build and both query kinds are pure functions
+//! of the seeded inputs), so a fourth baseline (`index_latency.json`, see
+//! [`IndexLatencyBaseline`]) stores the index's per-query settled nodes —
+//! the wall-latency proxy — and its arc-entry count per dimension, and
+//! `experiments gate --index FILE` fails when either regresses (a settled
+//! regression means queries got slower, an arc-entry one that contraction
+//! got more wasteful).
 
 use crate::alpha::{measure_scalarized, ScalarMetrics};
 use crate::experiments::{Experiment, ExperimentConfig};
+use crate::index::{measure_index, IndexMetrics};
 use crate::prep::{measure_labels, LabelMetrics};
 use mcn_gen::{generate_workload, CostDistribution, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -507,6 +517,179 @@ pub fn compare_alpha_gate(
     violations
 }
 
+/// The fixed configuration of the index gate (stored in the baseline file
+/// and cross-checked before comparing numbers).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexGateConfig {
+    /// Nodes of the seeded gate network.
+    pub nodes: usize,
+    /// Cost dimensions measured.
+    pub dims: Vec<usize>,
+    /// Source/target pairs per dimension.
+    pub pairs: usize,
+    /// Preference vectors per pair.
+    pub users: usize,
+    /// Build regions of the gated index build.
+    pub regions: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for IndexGateConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 150,
+            dims: vec![2, 3, 4],
+            pairs: 3,
+            users: 3,
+            regions: 1,
+            seed: 2010,
+        }
+    }
+}
+
+/// One dimension's deterministic index cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexGatePoint {
+    /// The point's label (e.g. `"d = 3"`).
+    pub label: String,
+    /// Mean nodes settled per (pair, α) query by the index — the
+    /// wall-latency proxy.
+    pub index_settled: f64,
+    /// Mean labels the index skyline settled per pair.
+    pub index_sky_settled: f64,
+    /// Upward-arc entries of the built index (its size).
+    pub arc_entries: f64,
+}
+
+/// The checked-in index baseline: configuration plus one point per
+/// dimension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexLatencyBaseline {
+    /// The configuration the numbers belong to.
+    pub config: IndexGateConfig,
+    /// One entry per swept dimension.
+    pub points: Vec<IndexGatePoint>,
+}
+
+impl IndexLatencyBaseline {
+    /// Serializes the baseline as indented JSON (the checked-in format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Re-measures the index gate: the index's settled nodes per seeded query
+/// and its size, per cost dimension. Byte-identical answers against the
+/// prep tier are asserted inside [`measure_index`] on every run.
+pub fn run_index_gate(config: &IndexGateConfig) -> IndexLatencyBaseline {
+    let points = config
+        .dims
+        .iter()
+        .map(|&d| {
+            let workload = generate_workload(&WorkloadSpec {
+                nodes: config.nodes,
+                facilities: (config.nodes / 5).max(10),
+                cost_types: d,
+                distribution: CostDistribution::AntiCorrelated,
+                clusters: 4,
+                queries: 4,
+                seed: config.seed,
+            });
+            let index = mcn_index::RouteIndex::build(
+                &workload.graph,
+                &mcn_index::IndexConfig {
+                    regions: config.regions.max(1),
+                    seed: config.seed,
+                    ..mcn_index::IndexConfig::default()
+                },
+            );
+            let metrics: IndexMetrics = measure_index(
+                &workload.graph,
+                &index,
+                config.pairs,
+                config.users,
+                config.seed,
+            );
+            IndexGatePoint {
+                label: format!("d = {d}"),
+                index_settled: metrics.index_settled,
+                index_sky_settled: metrics.index_sky_settled,
+                arc_entries: index.arc_entries() as f64,
+            }
+        })
+        .collect();
+    IndexLatencyBaseline {
+        config: config.clone(),
+        points,
+    }
+}
+
+/// Compares a fresh index-gate run against the checked-in baseline.
+/// Returns one message per violation (empty = gate passed); improvements
+/// never fail (refresh with `--update` to lock them in).
+pub fn compare_index_gate(
+    current: &IndexLatencyBaseline,
+    baseline: &IndexLatencyBaseline,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.config != baseline.config {
+        violations.push(format!(
+            "index gate configuration changed: baseline {:?} vs current {:?} \
+             (re-create the baseline)",
+            baseline.config, current.config
+        ));
+        return violations;
+    }
+    if current.points.len() != baseline.points.len() {
+        violations.push(format!(
+            "index gate point count changed: baseline {} vs current {} \
+             (re-create the baseline)",
+            baseline.points.len(),
+            current.points.len()
+        ));
+        return violations;
+    }
+    for (cp, bp) in current.points.iter().zip(&baseline.points) {
+        if cp.label != bp.label {
+            violations.push(format!(
+                "index gate point label changed: `{}` vs `{}`",
+                bp.label, cp.label
+            ));
+            continue;
+        }
+        for (kind, current_cost, baseline_cost) in [
+            ("index settled", cp.index_settled, bp.index_settled),
+            (
+                "index sky settled",
+                cp.index_sky_settled,
+                bp.index_sky_settled,
+            ),
+            ("arc entries", cp.arc_entries, bp.arc_entries),
+        ] {
+            if current_cost > baseline_cost * (1.0 + tolerance) {
+                violations.push(format!(
+                    "index [{}] {kind}: {current_cost:.1} vs baseline \
+                     {baseline_cost:.1} (+{:.1}% > {:.0}% allowed)",
+                    cp.label,
+                    (current_cost / baseline_cost - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +908,82 @@ mod tests {
         assert!(a.points[0].astar_settled <= a.points[0].dijkstra_settled);
         assert!(a.points[0].astar_settled > 0.0);
         assert!(a.points[0].skyline_labels > 0.0);
+    }
+
+    /// A two-point index baseline for the comparison tests.
+    fn small_index_baseline() -> IndexLatencyBaseline {
+        IndexLatencyBaseline {
+            config: IndexGateConfig::default(),
+            points: vec![
+                IndexGatePoint {
+                    label: "d = 2".into(),
+                    index_settled: 20.0,
+                    index_sky_settled: 60.0,
+                    arc_entries: 2000.0,
+                },
+                IndexGatePoint {
+                    label: "d = 3".into(),
+                    index_settled: 25.0,
+                    index_sky_settled: 150.0,
+                    arc_entries: 3500.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn index_gate_passes_jitter_fails_regressions() {
+        let base = small_index_baseline();
+        assert!(compare_index_gate(&base, &base, GATE_TOLERANCE).is_empty());
+        let mut current = base.clone();
+        current.points[0].index_settled = 20.3; // +1.5 %
+        current.points[1].arc_entries = 3300.0; // improvement
+        assert!(compare_index_gate(&current, &base, GATE_TOLERANCE).is_empty());
+        current.points[1].index_settled = 27.0; // +8 %
+        let violations = compare_index_gate(&current, &base, GATE_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("d = 3"));
+        assert!(violations[0].contains("index settled"));
+    }
+
+    #[test]
+    fn index_gate_reports_config_and_shape_changes() {
+        let base = small_index_baseline();
+        let mut current = base.clone();
+        current.config.regions = 9;
+        assert!(compare_index_gate(&current, &base, GATE_TOLERANCE)[0].contains("configuration"));
+        let mut current = base.clone();
+        current.points.pop();
+        assert!(compare_index_gate(&current, &base, GATE_TOLERANCE)[0].contains("point count"));
+        let mut current = base.clone();
+        current.points[0].label = "d = 9".into();
+        assert!(compare_index_gate(&current, &base, GATE_TOLERANCE)[0].contains("label changed"));
+    }
+
+    #[test]
+    fn index_baseline_round_trips_through_json() {
+        let b = small_index_baseline();
+        let json = b.to_json();
+        let parsed = IndexLatencyBaseline::from_json(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn run_index_gate_is_deterministic() {
+        let config = IndexGateConfig {
+            nodes: 80,
+            dims: vec![2],
+            pairs: 2,
+            users: 2,
+            regions: 2,
+            seed: 2010,
+        };
+        let a = run_index_gate(&config);
+        let b = run_index_gate(&config);
+        assert_eq!(a, b);
+        assert!(a.points[0].index_settled > 0.0);
+        assert!(a.points[0].arc_entries > 0.0);
     }
 
     #[test]

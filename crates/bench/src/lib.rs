@@ -24,6 +24,7 @@
 pub mod alpha;
 pub mod experiments;
 pub mod gate;
+pub mod index;
 pub mod measure;
 pub mod partition;
 pub mod prep;
@@ -37,9 +38,15 @@ pub use alpha::{
 };
 pub use experiments::{all_experiments, Experiment, ExperimentConfig};
 pub use gate::{
-    compare_alpha_gate, compare_gate, compare_label_gate, run_alpha_gate, run_gate, run_label_gate,
-    AlphaGateConfig, AlphaGatePoint, AlphaSettledBaseline, GateBaseline, GateConfig, GatePoint,
-    GateTable, LabelBaseline, LabelGateConfig, LabelGatePoint, GATE_TOLERANCE,
+    compare_alpha_gate, compare_gate, compare_index_gate, compare_label_gate, run_alpha_gate,
+    run_gate, run_index_gate, run_label_gate, AlphaGateConfig, AlphaGatePoint,
+    AlphaSettledBaseline, GateBaseline, GateConfig, GatePoint, GateTable, IndexGateConfig,
+    IndexGatePoint, IndexLatencyBaseline, LabelBaseline, LabelGateConfig, LabelGatePoint,
+    GATE_TOLERANCE,
+};
+pub use index::{
+    measure_index, render_index_table, run_index, run_index_on_graph, IndexExperimentConfig,
+    IndexMetrics, IndexReport, IndexRow, INDEX_ID, MIN_INDEX_REDUCTION,
 };
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
 pub use partition::{

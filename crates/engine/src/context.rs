@@ -2,6 +2,7 @@
 //! cache of ParetoPrep tables.
 
 use mcn_graph::{MultiCostGraph, NodeId};
+use mcn_index::RouteIndex;
 use mcn_prep::{PrepCache, PrepCacheStats, PrepTable};
 use std::sync::Arc;
 
@@ -19,6 +20,7 @@ use std::sync::Arc;
 pub struct PathContext {
     graph: Arc<MultiCostGraph>,
     cache: PrepCache,
+    route_index: Option<Arc<RouteIndex>>,
 }
 
 const _: () = crate::assert_send_sync::<PathContext>();
@@ -30,7 +32,31 @@ impl PathContext {
         Self {
             graph,
             cache: PrepCache::new(cache_capacity),
+            route_index: None,
         }
+    }
+
+    /// Attaches a prebuilt [`RouteIndex`] so path queries it can serve
+    /// exactly skip the prep-backed tier. An index that does not match the
+    /// graph shape or is not exact is kept but never consulted — every
+    /// query falls back to the prep-backed algorithms transparently.
+    pub fn with_route_index(mut self, index: Arc<RouteIndex>) -> Self {
+        self.route_index = Some(index);
+        self
+    }
+
+    /// The attached route index, if any.
+    pub fn route_index(&self) -> Option<&Arc<RouteIndex>> {
+        self.route_index.as_ref()
+    }
+
+    /// The route index, provided it can serve queries over this context's
+    /// graph exactly ([`RouteIndex::serves`]): the per-query dispatch
+    /// predicate.
+    pub fn serving_index(&self) -> Option<&RouteIndex> {
+        self.route_index
+            .as_deref()
+            .filter(|idx| idx.serves(&self.graph))
     }
 
     /// The graph path queries run over.

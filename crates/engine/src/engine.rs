@@ -757,6 +757,73 @@ mod tests {
     }
 
     #[test]
+    fn route_index_serves_path_queries_byte_identically() {
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        let baseline = QueryEngine::new(store.clone(), 2)
+            .with_path_context(ctx.clone())
+            .run_batch(&requests);
+        let index = Arc::new(mcn_index::RouteIndex::build(
+            ctx.graph(),
+            &mcn_index::IndexConfig::default(),
+        ));
+        assert!(index.exact(), "the fixture workload must index exactly");
+        let indexed_ctx =
+            Arc::new(crate::PathContext::new(ctx.graph().clone(), 4).with_route_index(index));
+        let indexed = QueryEngine::new(store, 2)
+            .with_path_context(indexed_ctx.clone())
+            .run_batch(&requests);
+        assert_eq!(fingerprints(&baseline), fingerprints(&indexed));
+        for (request, outcome) in requests.iter().zip(&indexed.outcomes) {
+            match request {
+                QueryRequest::AlphaPath { .. } => {
+                    assert_eq!(outcome.stats.algorithm, "alpha-index")
+                }
+                QueryRequest::PathSkyline { .. } => {
+                    assert_eq!(outcome.stats.algorithm, "MCPP-index")
+                }
+                _ => {}
+            }
+        }
+        // Index-served path queries never consult the prep cache.
+        let cache = indexed_ctx.cache_stats();
+        assert_eq!(cache.hits + cache.misses, 0);
+    }
+
+    #[test]
+    fn inexact_route_index_falls_back_to_the_prep_tier() {
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        // A bundle cap of 1 forces truncation on the anti-correlated
+        // workload, so the index is not exact and must never serve.
+        let index = Arc::new(mcn_index::RouteIndex::build(
+            ctx.graph(),
+            &mcn_index::IndexConfig {
+                max_bundle: 1,
+                ..mcn_index::IndexConfig::default()
+            },
+        ));
+        assert!(!index.exact());
+        let fallback_ctx = Arc::new(
+            crate::PathContext::new(ctx.graph().clone(), 4).with_route_index(index.clone()),
+        );
+        assert!(fallback_ctx.route_index().is_some());
+        assert!(fallback_ctx.serving_index().is_none());
+        let outcomes = QueryEngine::new(store, 2)
+            .with_path_context(fallback_ctx)
+            .run_batch(&requests);
+        for (request, outcome) in requests.iter().zip(&outcomes.outcomes) {
+            match request {
+                QueryRequest::AlphaPath { .. } => {
+                    assert_eq!(outcome.stats.algorithm, "alpha-astar")
+                }
+                QueryRequest::PathSkyline { .. } => {
+                    assert_eq!(outcome.stats.algorithm, "MCPP-prep")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
     fn path_requests_are_region_taggable() {
         // PathSkyline requests carry their source as the location, so
         // region-affine batches accept them like any other request kind.

@@ -171,6 +171,22 @@ impl QueryRequest {
                     "PathSkyline requests need a PathContext — build the engine with \
                      QueryEngine::with_path_context",
                 );
+                if let Some(index) = ctx.serving_index() {
+                    let run = index.skyline_paths(ctx.graph(), *source, *target);
+                    let stats = QueryStats {
+                        algorithm: "MCPP-index".to_string(),
+                        nodes_settled: run.stats.settled as usize,
+                        candidates: run.stats.pushed as usize,
+                        dominance_checks: run.stats.pruned as usize,
+                        result_size: run.paths.len(),
+                        ..QueryStats::default()
+                    };
+                    return QueryOutcome {
+                        output: QueryOutput::Paths(run.paths),
+                        stats,
+                        wall: started.elapsed(),
+                    };
+                }
                 let prep = ctx.table_for(*target);
                 let run = pareto_paths_prepped(ctx.graph(), *source, *target, &prep);
                 // Path queries never touch the paged store; map the label
@@ -196,6 +212,22 @@ impl QueryRequest {
                 let ctx = paths.expect(
                     "AlphaPath requests need a PathContext — build the engine with                      QueryEngine::with_path_context",
                 );
+                if let Some(index) = ctx.serving_index() {
+                    let run = index.alpha_path(ctx.graph(), *source, *target, alpha);
+                    let stats = QueryStats {
+                        algorithm: "alpha-index".to_string(),
+                        nodes_settled: run.stats.settled as usize,
+                        candidates: run.stats.pushed as usize,
+                        dominance_checks: run.stats.pruned as usize,
+                        result_size: usize::from(run.path.is_some()),
+                        ..QueryStats::default()
+                    };
+                    return QueryOutcome {
+                        output: QueryOutput::AlphaPath(run.path),
+                        stats,
+                        wall: started.elapsed(),
+                    };
+                }
                 let prep = ctx.table_for(*target);
                 let run = scalarized_path_astar(ctx.graph(), *source, *target, alpha, &prep);
                 // Same stats mapping idea as PathSkyline: candidates = heap

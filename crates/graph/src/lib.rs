@@ -43,6 +43,7 @@ pub mod dominance;
 pub mod edge;
 pub mod error;
 pub mod facility;
+pub mod front2;
 pub mod graph;
 pub mod ids;
 pub mod location;
@@ -56,6 +57,7 @@ pub use dominance::{dominates, dominates_weak, incomparable, DominanceRelation};
 pub use edge::Edge;
 pub use error::GraphError;
 pub use facility::Facility;
+pub use front2::Front2;
 pub use graph::MultiCostGraph;
 pub use ids::{EdgeId, FacilityId, NodeId, RegionId};
 pub use location::NetworkLocation;

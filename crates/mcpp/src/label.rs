@@ -1,7 +1,7 @@
 //! Label-correcting multi-criteria Pareto path search.
 
 use crate::stats::PathStats;
-use mcn_graph::{dominates, dominates_weak, CostVec, EdgeId, MultiCostGraph, NodeId};
+use mcn_graph::{dominates, dominates_weak, CostVec, EdgeId, Front2, MultiCostGraph, NodeId};
 use mcn_prep::PrepTable;
 use std::collections::VecDeque;
 
@@ -172,6 +172,18 @@ fn search(
         edges: Vec::new(),
     });
 
+    // Bicriterion fast path: a sorted-sweep mirror of the target skyline
+    // answers the hot weak-dominance check in O(log k) instead of a scan.
+    // The mirror's booleans are identical to the pairwise test over the
+    // same points, so every label counter (and the labels gate) is
+    // unchanged by construction.
+    let mut target_front = (d == 2 && (target_prune || prep.is_some())).then(Front2::new);
+    if source == target {
+        if let Some(front) = target_front.as_mut() {
+            front.insert(0.0, 0.0);
+        }
+    }
+
     // Real source → target path costs reconstructed from the prep scan: cut
     // lines available before the first label reaches the target.
     let cuts: Vec<CostVec> = match prep {
@@ -208,13 +220,17 @@ fn search(
                         bound[i] += lower[i] * BOUND_DEFLATION;
                     }
                 }
-                if (target_prune || prep.is_some())
-                    && labels[target.index()]
-                        .iter()
-                        .any(|l| dominates_weak(&l.costs, &bound))
-                {
-                    stats.labels_pruned += 1;
-                    continue;
+                if target_prune || prep.is_some() {
+                    let dominated_at_target = match &target_front {
+                        Some(front) => front.dominates_weak(bound[0], bound[1]),
+                        None => labels[target.index()]
+                            .iter()
+                            .any(|l| dominates_weak(&l.costs, &bound)),
+                    };
+                    if dominated_at_target {
+                        stats.labels_pruned += 1;
+                        continue;
+                    }
                 }
                 if cuts.iter().any(|cut| dominates(cut, &bound)) {
                     stats.labels_pruned += 1;
@@ -239,6 +255,15 @@ fn search(
                     edges,
                 });
                 stats.labels_inserted += 1;
+                if neighbor.node == target {
+                    if let Some(front) = target_front.as_mut() {
+                        // Keeps the mirror exact: the pairwise checks above
+                        // admitted the label, so the mirror's (identical)
+                        // insert protocol admits it too, evicting the same
+                        // strictly dominated points `retain` just dropped.
+                        front.insert(costs[0], costs[1]);
+                    }
+                }
                 if !queued[neighbor.node.index()] {
                     queued[neighbor.node.index()] = true;
                     queue.push_back(neighbor.node);
@@ -432,6 +457,27 @@ mod tests {
         let (g, s, t) = diamond();
         let wrong = PrepTable::build(&g, s);
         let _ = pareto_paths_prepped(&g, s, t, &wrong);
+    }
+
+    #[test]
+    fn bicriterion_fast_path_matches_exhaustive_output() {
+        // d == 2 engages the Front2 mirror of the target skyline; the
+        // output (and, because the mirror's booleans equal the pairwise
+        // test, every counter) must match the exhaustive baseline exactly.
+        for seed in [7u64, 21, 63] {
+            let (g, nodes) = seeded_network(60, 2, seed);
+            let (s, t) = (nodes[1], nodes[55]);
+            let exhaustive = pareto_paths_exhaustive(&g, s, t);
+            let pruned = pareto_paths_with_stats(&g, s, t);
+            assert_eq!(exhaustive.paths, pruned.paths, "seed {seed} diverged");
+            assert!(pruned.stats.labels_created <= exhaustive.stats.labels_created);
+            let prep = PrepTable::build(&g, t);
+            let prepped = pareto_paths_prepped(&g, s, t, &prep);
+            assert_eq!(
+                exhaustive.paths, prepped.paths,
+                "seed {seed} prepped diverged"
+            );
+        }
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct PrepTable {
     restricted: bool,
     /// Edge relaxations performed by the scan (a deterministic cost metric).
     relaxations: u64,
+    /// Queue pops performed by the scan — the "nodes settled" analogue the
+    /// serving tiers compare their own settle counts against.
+    settled: u64,
 }
 
 const _: () = crate::assert_send_sync::<PrepTable>();
@@ -95,6 +98,7 @@ impl PrepTable {
         let mut bounds = vec![CostVec::infinity(d); n];
         let mut parents = vec![NO_PARENT; n * d];
         let mut relaxations = 0u64;
+        let mut settled = 0u64;
         bounds[target.index()] = CostVec::zeros(d);
 
         let mut queue = std::collections::VecDeque::with_capacity(n);
@@ -104,6 +108,7 @@ impl PrepTable {
 
         while let Some(u) = queue.pop_front() {
             queued[u.index()] = false;
+            settled += 1;
             let reached = bounds[u.index()];
             for &eid in graph.incident_edges(u) {
                 let e = graph.edge(eid);
@@ -142,6 +147,7 @@ impl PrepTable {
             parents,
             restricted: allowed.is_some(),
             relaxations,
+            settled,
         }
     }
 
@@ -174,6 +180,14 @@ impl PrepTable {
     #[inline]
     pub fn relaxations(&self) -> u64 {
         self.relaxations
+    }
+
+    /// Queue pops the scan performed — the scan's settled-node count. A
+    /// cold-cache query pays this on top of its own search, which is what
+    /// the `index` experiment charges the prep-backed tier per cold target.
+    #[inline]
+    pub fn settled(&self) -> u64 {
+        self.settled
     }
 
     /// The lower-bound vector `L(v)`: component `i` is the cost-`i`
@@ -317,6 +331,8 @@ mod tests {
         assert!(prep.reaches(s));
         assert_eq!(prep.reachable_nodes(), 4);
         assert!(prep.relaxations() > 0);
+        // Every node improves at least once, so every node pops at least once.
+        assert!(prep.settled() >= 4);
         assert!(!prep.is_restricted());
     }
 

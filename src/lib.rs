@@ -24,6 +24,9 @@
 //!   scans and the prep-table cache behind the engine's path queries.
 //! * [`alpha`] — the scalarized preference serving tier: per-user α
 //!   weight vectors, prep-backed A* fastest paths, preference estimation.
+//! * [`index`] — the hierarchical partial-path route index: multi-cost
+//!   contraction hierarchy with Pareto shortcut bundles, bidirectional
+//!   upward queries byte-identical to the prep-backed tier.
 //! * [`gen`] — synthetic workload generation matching the paper's Section VI.
 //! * [`io`] — loaders/writers for common road-network file formats.
 
@@ -35,6 +38,7 @@ pub use mcn_engine as engine;
 pub use mcn_expansion as expansion;
 pub use mcn_gen as gen;
 pub use mcn_graph as graph;
+pub use mcn_index as index;
 pub use mcn_io as io;
 pub use mcn_mcpp as mcpp;
 pub use mcn_prep as prep;

@@ -1,0 +1,184 @@
+//! Route-index equivalence: answers served from the hierarchical
+//! partial-path index must be **byte-identical** to the direct algorithms —
+//! `scalarized_path` for α queries and `pareto_paths_prepped` for path
+//! skylines — over random graphs at every dimension, and engine batches
+//! mixing index-served and prep-backed contexts must stay fingerprint-equal
+//! serial vs concurrent.
+
+use mcn::alpha::{scalarized_path, Preference};
+use mcn::engine::{PathContext, QueryEngine, QueryOutput, QueryRequest};
+use mcn::gen::{generate_workload, WorkloadSpec};
+use mcn::graph::{CostVec, GraphBuilder, MultiCostGraph, NodeId};
+use mcn::index::{IndexConfig, RouteIndex};
+use mcn::mcpp::pareto_paths_prepped;
+use mcn::prep::PrepTable;
+use mcn::storage::{BufferConfig, MCNStore};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Builds a small connected network: a backbone line plus random extra
+/// edges, with deterministic LCG-drawn positive costs.
+fn property_network(d: usize, nodes: usize, extra: &[(u16, u16)], seed: u64) -> MultiCostGraph {
+    let mut lcg = seed | 1;
+    let mut next_cost = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((lcg >> 33) % 1000) as f64 / 100.0 + 0.1
+    };
+    let mut b = GraphBuilder::new(d);
+    let ids: Vec<NodeId> = (0..nodes).map(|i| b.add_node(i as f64, 0.0)).collect();
+    for w in ids.windows(2) {
+        let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+        b.add_edge(w[0], w[1], CostVec::from_slice(&costs)).unwrap();
+    }
+    for &(a, c) in extra {
+        let a = ids[a as usize % nodes];
+        let c = ids[c as usize % nodes];
+        if a == c {
+            continue;
+        }
+        let costs: Vec<f64> = (0..d).map(|_| next_cost()).collect();
+        b.add_edge(a, c, CostVec::from_slice(&costs)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Index-served α routes and path skylines are byte-identical to the
+    /// direct algorithms from every source, at d = 2..4, over random
+    /// topologies — edges, IEEE-754 total bits and full Pareto sets alike.
+    #[test]
+    fn index_answers_match_direct_algorithms(
+        d in 2usize..=4,
+        nodes in 3usize..=14,
+        extra in proptest::collection::vec((0u16..64, 0u16..64), 0..8),
+        target_sel in 0u16..64,
+        raw_alpha in proptest::collection::vec(0.01f64..1.0, 4),
+        seed in any::<u64>(),
+    ) {
+        let graph = property_network(d, nodes, &extra, seed);
+        let index = RouteIndex::build(&graph, &IndexConfig::default());
+        prop_assert!(index.exact(), "small builds must stay exact");
+        prop_assert!(index.serves(&graph));
+        let target = NodeId::from(target_sel as usize % nodes);
+        let alpha = Preference::new(&raw_alpha[..d]).expect("positive weights are valid");
+        let prep = PrepTable::build(&graph, target);
+        for source in (0..nodes).map(NodeId::from) {
+            let direct = scalarized_path(&graph, source, target, &alpha);
+            let via = index.alpha_path(&graph, source, target, &alpha);
+            match (direct.path, via.path) {
+                (Some(p), Some(v)) => {
+                    prop_assert_eq!(
+                        &p.edges, &v.edges,
+                        "index route diverged at {} → {}", source, target
+                    );
+                    prop_assert_eq!(
+                        p.total.to_bits(), v.total.to_bits(),
+                        "index total diverged at {} → {}", source, target
+                    );
+                }
+                (None, None) => {}
+                other => prop_assert!(
+                    false,
+                    "index and Dijkstra disagree on reachability at {source} → {target}: {other:?}"
+                ),
+            }
+            let direct_sky = pareto_paths_prepped(&graph, source, target, &prep);
+            let via_sky = index.skyline_paths(&graph, source, target);
+            prop_assert_eq!(
+                &direct_sky.paths, &via_sky.paths,
+                "index skyline diverged at {} → {}", source, target
+            );
+        }
+    }
+}
+
+/// The engine fixture: one seeded workload graph with a batch mixing
+/// α-path and path-skyline requests over a handful of shared targets.
+fn engine_fixture() -> (Arc<MCNStore>, Arc<MultiCostGraph>, Vec<QueryRequest>) {
+    let graph = Arc::new(
+        generate_workload(&WorkloadSpec {
+            nodes: 160,
+            facilities: 30,
+            cost_types: 3,
+            queries: 0,
+            ..WorkloadSpec::tiny(91)
+        })
+        .graph,
+    );
+    let store = Arc::new(MCNStore::build_in_memory(&graph, BufferConfig::Pages(32)).unwrap());
+    let mut rng = ChaCha8Rng::seed_from_u64(9100);
+    let n = graph.num_nodes();
+    let targets: Vec<NodeId> = (0..4).map(|_| NodeId::from(rng.gen_range(0..n))).collect();
+    let requests: Vec<QueryRequest> = (0..16)
+        .map(|i| {
+            let source = NodeId::from(rng.gen_range(0..n));
+            let target = targets[i % targets.len()];
+            if i % 2 == 0 {
+                let w: Vec<f64> = (0..3).map(|_| rng.gen_range(0.05..1.0)).collect();
+                QueryRequest::AlphaPath {
+                    source,
+                    target,
+                    alpha: Preference::new(&w).unwrap(),
+                }
+            } else {
+                QueryRequest::PathSkyline { source, target }
+            }
+        })
+        .collect();
+    (store, graph, requests)
+}
+
+fn fingerprints(result: &mcn::engine::BatchResult) -> Vec<String> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| o.output.fingerprint())
+        .collect()
+}
+
+/// Index-backed and prep-backed engines answer the same mixed batch with
+/// byte-identical outputs, serial and with four workers — and the indexed
+/// run actually serves from the index (no prep-cache traffic).
+#[test]
+fn mixed_engine_batches_agree_across_index_and_worker_counts() {
+    let (store, graph, requests) = engine_fixture();
+    let index = Arc::new(RouteIndex::build(&graph, &IndexConfig::with_regions(3)));
+    assert!(index.serves(&graph), "fixture build must stay exact");
+
+    let prep_ctx = Arc::new(PathContext::new(graph.clone(), 8));
+    let baseline = QueryEngine::new(store.clone(), 1)
+        .with_path_context(prep_ctx)
+        .run_batch(&requests);
+    let reference = fingerprints(&baseline);
+    assert!(baseline
+        .outcomes
+        .iter()
+        .any(|o| matches!(o.output, QueryOutput::Paths(_))));
+
+    for workers in [1usize, 4] {
+        let indexed_ctx =
+            Arc::new(PathContext::new(graph.clone(), 8).with_route_index(index.clone()));
+        let indexed = QueryEngine::new(store.clone(), workers)
+            .with_path_context(indexed_ctx.clone())
+            .run_batch(&requests);
+        assert_eq!(
+            reference,
+            fingerprints(&indexed),
+            "indexed batch diverged at {workers} worker(s)"
+        );
+        for outcome in &indexed.outcomes {
+            assert!(
+                outcome.stats.algorithm.ends_with("-index"),
+                "request served by {} instead of the index",
+                outcome.stats.algorithm
+            );
+        }
+        // The index answered everything: the prep-table cache saw no traffic.
+        let cache = indexed_ctx.cache_stats();
+        assert_eq!(cache.hits + cache.misses, 0);
+    }
+}
