@@ -38,13 +38,13 @@ use mcn_gen::{
 };
 use mcn_graph::{MultiCostGraph, NodeId};
 use mcn_mcpp::pareto_paths_prepped;
+use mcn_obs::default_clock;
 use mcn_prep::PrepTable;
 use mcn_storage::{BufferConfig, MCNStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Identifier of the alpha experiment in the `experiments` binary and its
 /// report file name (`<id>.json`).
@@ -157,6 +157,13 @@ pub struct AlphaRow {
     pub cache_misses: u64,
     /// `hits / (hits + misses)` of the same cycle.
     pub cache_hit_ratio: f64,
+    /// Median per-query latency of the last warm engine batch, in
+    /// milliseconds (from the engine's deterministic log2 histogram).
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency of the same batch (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency of the same batch (ms).
+    pub p99_ms: f64,
     /// Fraction of observed routes whose hidden α the estimator recovered
     /// (a preference under which the route is optimal).
     pub estimator_recovered: f64,
@@ -255,21 +262,22 @@ pub fn measure_scalarized(
     let mut skyline_labels = 0u64;
     let mut dijkstra_secs = 0.0f64;
     let mut astar_secs = 0.0f64;
+    let clock = default_clock();
     for &(s, t) in &pair_list {
-        let started = Instant::now();
+        let started = clock.now_ns();
         let prep = PrepTable::build(graph, t);
         for alpha in &pool {
             let run = scalarized_path_astar(graph, s, t, alpha, &prep);
             astar_settled += run.stats.settled;
         }
-        astar_secs += started.elapsed().as_secs_f64();
+        astar_secs += clock.elapsed(started).as_secs_f64();
 
-        let started = Instant::now();
+        let started = clock.now_ns();
         for alpha in &pool {
             let run = scalarized_path(graph, s, t, alpha);
             dijkstra_settled += run.stats.settled;
         }
-        dijkstra_secs += started.elapsed().as_secs_f64();
+        dijkstra_secs += clock.elapsed(started).as_secs_f64();
 
         // Routes must be identical query by query — re-run one pass outside
         // the timed loops so the timing numbers stay honest.
@@ -377,14 +385,19 @@ fn build_alpha_batch(
 /// identical on every repeat — same rationale as the prep experiment).
 const ENGINE_REPEATS: usize = 3;
 
+/// The engine half of one point: cold/warm QPS, cache counters, and the
+/// per-query latency histogram of the last warm batch.
+struct EngineMetrics {
+    cold_qps: f64,
+    warm_qps: f64,
+    cache: mcn_prep::PrepCacheStats,
+    warm_latency: mcn_obs::HistogramSnapshot,
+}
+
 /// One engine measurement: the batch cold vs warm, fingerprints asserted
 /// identical, cache counters taken from the batches' own
 /// [`mcn_engine::BatchStats::prep_cache`] deltas.
-fn measure_engine(
-    graph: &Arc<MultiCostGraph>,
-    config: &AlphaConfig,
-    seed: u64,
-) -> (f64, f64, u64, u64, f64) {
+fn measure_engine(graph: &Arc<MultiCostGraph>, config: &AlphaConfig, seed: u64) -> EngineMetrics {
     let store =
         Arc::new(MCNStore::build_in_memory(graph, BufferConfig::Pages(32)).expect("store builds"));
     let ctx = Arc::new(PathContext::new(graph.clone(), config.cache_capacity));
@@ -403,6 +416,7 @@ fn measure_engine(
     let mut cold_qps = 0.0f64;
     let mut warm_qps = 0.0f64;
     let mut cache = mcn_prep::PrepCacheStats::default();
+    let mut warm_latency = None;
     for _ in 0..ENGINE_REPEATS {
         ctx.clear_cache();
         let cold = engine.run_batch(&requests);
@@ -426,14 +440,14 @@ fn measure_engine(
             misses: cold.stats.prep_cache.misses + warm.stats.prep_cache.misses,
             evictions: cold.stats.prep_cache.evictions + warm.stats.prep_cache.evictions,
         };
+        warm_latency = Some(warm.stats.latency);
     }
-    (
+    EngineMetrics {
         cold_qps,
         warm_qps,
-        cache.hits,
-        cache.misses,
-        cache.hit_ratio(),
-    )
+        cache,
+        warm_latency: warm_latency.expect("ENGINE_REPEATS > 0"),
+    }
 }
 
 /// The workload spec of one synthetic point (same shape as the prep
@@ -454,8 +468,8 @@ fn point_spec(nodes: usize, d: usize, seed: u64) -> WorkloadSpec {
 fn measure_point(graph: Arc<MultiCostGraph>, config: &AlphaConfig) -> AlphaRow {
     let d = graph.num_cost_types();
     let metrics = measure_scalarized(&graph, config.pairs, config.users, config.seed);
-    let (cold_qps, warm_qps, cache_hits, cache_misses, cache_hit_ratio) =
-        measure_engine(&graph, config, config.seed);
+    let engine = measure_engine(&graph, config, config.seed);
+    let (cold_qps, warm_qps) = (engine.cold_qps, engine.warm_qps);
     let (estimator_recovered, estimator_rounds) =
         measure_estimator(&graph, config.estimator_routes, config.seed);
     let queries = (config.pairs * config.users) as f64;
@@ -478,9 +492,12 @@ fn measure_point(graph: Arc<MultiCostGraph>, config: &AlphaConfig) -> AlphaRow {
         } else {
             1.0
         }),
-        cache_hits,
-        cache_misses,
-        cache_hit_ratio: json_safe(cache_hit_ratio),
+        cache_hits: engine.cache.hits,
+        cache_misses: engine.cache.misses,
+        cache_hit_ratio: json_safe(engine.cache.hit_ratio()),
+        p50_ms: json_safe(engine.warm_latency.p50 as f64 / 1e6),
+        p95_ms: json_safe(engine.warm_latency.p95 as f64 / 1e6),
+        p99_ms: json_safe(engine.warm_latency.p99 as f64 / 1e6),
         estimator_recovered: json_safe(estimator_recovered),
         estimator_rounds: json_safe(estimator_rounds),
     };
@@ -575,7 +592,7 @@ pub fn render_alpha_table(table: &AlphaReport) -> String {
         table.config.cache_capacity
     ));
     out.push_str(&format!(
-        "{:<4} {:>7} {:>12} {:>11} {:>8} {:>13} {:>9} {:>10} {:>10} {:>8} {:>6}\n",
+        "{:<4} {:>7} {:>12} {:>11} {:>8} {:>13} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>6}\n",
         "d",
         "nodes",
         "dij settled",
@@ -585,13 +602,15 @@ pub fn render_alpha_table(table: &AlphaReport) -> String {
         "advantage",
         "cold QPS",
         "warm QPS",
+        "p50(ms)",
+        "p95(ms)",
         "hit%",
         "est%"
     ));
     for r in &table.rows {
         out.push_str(&format!(
             "{:<4} {:>7} {:>12.1} {:>11.1} {:>7.2}x {:>13.1} {:>8.1}x {:>10.1} \
-             {:>10.1} {:>7.1}% {:>5.0}%\n",
+             {:>10.1} {:>9.3} {:>9.3} {:>7.1}% {:>5.0}%\n",
             r.dims,
             r.nodes,
             r.dijkstra_settled,
@@ -601,6 +620,8 @@ pub fn render_alpha_table(table: &AlphaReport) -> String {
             r.skyline_advantage,
             r.cold_qps,
             r.warm_qps,
+            r.p50_ms,
+            r.p95_ms,
             r.cache_hit_ratio * 100.0,
             r.estimator_recovered * 100.0
         ));
@@ -643,6 +664,10 @@ mod tests {
             assert!(row.cold_qps > 0.0 && row.warm_qps > 0.0);
             assert!(row.cache_hits > 0);
             assert!(row.cache_hit_ratio > 0.0 && row.cache_hit_ratio < 1.0);
+            // Latency percentiles come from the engine's histogram: finite,
+            // ordered, and positive on a real (monotonic) clock.
+            assert!(row.p50_ms > 0.0);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
         }
     }
 

@@ -23,15 +23,16 @@
 
 use mcn_bench::{
     compare_alpha_gate, compare_gate, compare_index_gate, compare_label_gate, dimacs_graph,
-    dimacs_workload, render_alpha_table, render_index_table, render_partition_table,
-    render_prep_table, render_table, render_throughput_table, run_alpha, run_alpha_gate,
-    run_alpha_on_graph, run_gate, run_index, run_index_gate, run_index_on_graph, run_label_gate,
-    run_partition, run_partition_on, run_prep, run_prep_on_graph, run_throughput, AlphaConfig,
-    AlphaGateConfig, AlphaReport, AlphaSettledBaseline, Experiment, ExperimentConfig,
-    ExperimentTable, GateBaseline, GateConfig, IndexExperimentConfig, IndexGateConfig,
-    IndexLatencyBaseline, IndexReport, LabelBaseline, LabelGateConfig, PartitionConfig,
-    PartitionTable, PrepConfig, PrepReport, ThroughputConfig, ThroughputTable, ALPHA_ID,
-    GATE_TOLERANCE, INDEX_ID, PARTITION_ID, PREP_ID, THROUGHPUT_ID,
+    dimacs_workload, render_alpha_table, render_index_table, render_obs_table,
+    render_partition_table, render_prep_table, render_table, render_throughput_table, run_alpha,
+    run_alpha_gate, run_alpha_on_graph, run_gate, run_index, run_index_gate, run_index_on_graph,
+    run_label_gate, run_obs, run_partition, run_partition_on, run_prep, run_prep_on_graph,
+    run_throughput, AlphaConfig, AlphaGateConfig, AlphaReport, AlphaSettledBaseline, Experiment,
+    ExperimentConfig, ExperimentTable, GateBaseline, GateConfig, IndexExperimentConfig,
+    IndexGateConfig, IndexLatencyBaseline, IndexReport, LabelBaseline, LabelGateConfig,
+    ObsExperimentConfig, ObsReport, PartitionConfig, PartitionTable, PrepConfig, PrepReport,
+    ThroughputConfig, ThroughputTable, ALPHA_ID, GATE_TOLERANCE, INDEX_ID, OBS_ID, PARTITION_ID,
+    PREP_ID, THROUGHPUT_ID,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -52,12 +53,14 @@ fn main() -> ExitCode {
     let mut prep_config = PrepConfig::default();
     let mut alpha_config = AlphaConfig::default();
     let mut index_config = IndexExperimentConfig::default();
+    let mut obs_config = ObsExperimentConfig::default();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut with_throughput = false;
     let mut with_partition = false;
     let mut with_prep = false;
     let mut with_alpha = false;
     let mut with_index = false;
+    let mut with_obs = false;
     let mut dimacs: Option<String> = None;
     let mut run_all = false;
     let mut out_dir: Option<PathBuf> = None;
@@ -71,6 +74,19 @@ fn main() -> ExitCode {
             id if id == PREP_ID => with_prep = true,
             id if id == ALPHA_ID => with_alpha = true,
             id if id == INDEX_ID => with_index = true,
+            id if id == OBS_ID => with_obs = true,
+            "--obs-batch" => {
+                obs_config.batch = expect_value(&args, &mut i, "--obs-batch");
+            }
+            "--obs-workers" => {
+                obs_config.workers = expect_value(&args, &mut i, "--obs-workers");
+            }
+            "--obs-repeats" => {
+                obs_config.repeats = expect_value(&args, &mut i, "--obs-repeats");
+            }
+            "--no-obs-asserts" => {
+                obs_config.assert_overhead = false;
+            }
             "--index-nodes" => {
                 let list: String = expect_value(&args, &mut i, "--index-nodes");
                 match parse_worker_list(&list) {
@@ -254,6 +270,7 @@ fn main() -> ExitCode {
         with_prep = true;
         with_alpha = true;
         with_index = true;
+        with_obs = true;
     }
     if selected.is_empty()
         && !with_throughput
@@ -261,6 +278,7 @@ fn main() -> ExitCode {
         && !with_prep
         && !with_alpha
         && !with_index
+        && !with_obs
     {
         eprintln!("nothing to run");
         print_usage();
@@ -276,6 +294,8 @@ fn main() -> ExitCode {
     alpha_config.seed = config.seed;
     alpha_config.workers = partition_config.workers;
     index_config.seed = config.seed;
+    obs_config.scale = config.scale;
+    obs_config.seed = config.seed;
     if let Some(path) = &dimacs {
         partition_config.source = path.clone();
         prep_config.source = path.clone();
@@ -296,6 +316,7 @@ fn main() -> ExitCode {
             with_prep,
             with_alpha,
             with_index,
+            with_obs,
         );
     }
 
@@ -413,6 +434,23 @@ fn main() -> ExitCode {
                 eprintln!("failed to persist table {INDEX_ID}: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if with_obs {
+        let table = run_obs(&obs_config);
+        println!("{}", render_obs_table(&table));
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_obs_table(dir, &table) {
+                eprintln!("failed to persist table {OBS_ID}: {e}");
+                return ExitCode::FAILURE;
+            }
+            // The embedded chrome trace, as its own loadable artifact.
+            let trace_path = dir.join("obs-trace.json");
+            if let Err(e) = std::fs::write(&trace_path, &table.trace_json) {
+                eprintln!("cannot write {}: {e}", trace_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", trace_path.display());
         }
     }
     ExitCode::SUCCESS
@@ -670,6 +708,12 @@ fn persist_index_table(dir: &Path, table: &IndexReport) -> Result<(), String> {
     )
 }
 
+/// Writes the observability `table` to `DIR/obs.json` with the same
+/// read-back verification as the figure tables.
+fn persist_obs_table(dir: &Path, table: &ObsReport) -> Result<(), String> {
+    persist_report(dir, OBS_ID, table, ObsReport::to_json, ObsReport::from_json)
+}
+
 /// Loads `DIR/<id>.json`, verifying that the stored id matches and that
 /// re-serializing the parsed value reproduces the file byte-for-byte (the
 /// serializer is deterministic, so byte equality across processes proves a
@@ -712,6 +756,7 @@ fn check_tables(
     with_prep: bool,
     with_alpha: bool,
     with_index: bool,
+    with_obs: bool,
 ) -> ExitCode {
     let mut failures = 0u32;
     for experiment in selected {
@@ -804,6 +849,17 @@ fn check_tables(
             }
         }
     }
+    if with_obs {
+        match load_report(dir, OBS_ID, ObsReport::to_json, ObsReport::from_json, |t| {
+            &t.id
+        }) {
+            Ok(table) => println!("{}", render_obs_table(&table)),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} table(s) failed the check");
         ExitCode::FAILURE
@@ -832,9 +888,11 @@ fn print_usage() {
          \x20                [--alpha-pairs N] [--alpha-users N] [--no-alpha-asserts]\n\
          \x20                [--index-nodes LIST] [--index-dims LIST] [--index-pairs N]\n\
          \x20                [--index-users N] [--index-regions N] [--no-index-asserts]\n\
+         \x20                [--obs-batch N] [--obs-workers N] [--obs-repeats N]\n\
+         \x20                [--no-obs-asserts]\n\
          \x20      experiments gate --baseline FILE [--labels FILE] [--alpha FILE]\n\
          \x20                [--index FILE] [--update]\n\
-         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}, {ALPHA_ID}, {INDEX_ID}\n\
+         experiment ids: {}, {THROUGHPUT_ID}, {PARTITION_ID}, {PREP_ID}, {ALPHA_ID}, {INDEX_ID}, {OBS_ID}\n\
          --out DIR      run the experiments, persist each table to DIR/<id>.json and\n\
          \x20              verify the written file re-parses to the in-memory table\n\
          --check DIR    skip running; load DIR/<id>.json for each selected experiment,\n\
@@ -880,6 +938,13 @@ fn print_usage() {
          --no-index-asserts  skip {INDEX_ID}'s exact-build and >=10x cold settled-node\n\
          \x20              reduction assertions (byte-identical routes vs the prep\n\
          \x20              tier are always asserted)\n\
+         --obs-batch N      queries in the {OBS_ID} experiment's batch (default 32)\n\
+         --obs-workers N    engine workers of the {OBS_ID} experiment (default 4)\n\
+         --obs-repeats N    interleaved best-of rounds per {OBS_ID} mode (default 3)\n\
+         --no-obs-asserts   skip {OBS_ID}'s <=2% disabled-overhead assertion\n\
+         \x20              (identical-fingerprint and trace round-trip assertions\n\
+         \x20              always run); with --out, {OBS_ID} also writes the enabled\n\
+         \x20              run's chrome://tracing document to DIR/obs-trace.json\n\
          gate           re-measure mean logical page reads of every figure point\n\
          \x20              (--baseline), the {PREP_ID} experiment's mean label counts\n\
          \x20              (--labels), the {ALPHA_ID} tier's mean settled nodes\n\

@@ -33,11 +33,11 @@ use mcn_gen::{
 use mcn_graph::{MultiCostGraph, NodeId};
 use mcn_index::{IndexConfig, RouteIndex};
 use mcn_mcpp::pareto_paths_prepped;
+use mcn_obs::default_clock;
 use mcn_prep::PrepTable;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Identifier of the index experiment in the `experiments` binary and its
 /// report file name (`<id>.json`).
@@ -128,6 +128,13 @@ pub struct IndexRow {
     /// Prep-tier α-query throughput with the scan paid once per pair
     /// (queries / wall).
     pub prep_qps: f64,
+    /// Median per-query latency of the index α-queries, in milliseconds
+    /// (deterministic log2 histogram over a dedicated measurement pass).
+    pub p50_ms: f64,
+    /// 95th-percentile per-query index latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile per-query index latency (ms).
+    pub p99_ms: f64,
 }
 
 /// The persisted index report.
@@ -228,21 +235,22 @@ pub fn measure_index(
     let mut index_sky_settled = 0u64;
     let mut index_secs = 0.0f64;
     let mut prep_secs = 0.0f64;
+    let clock = default_clock();
     for &(s, t) in &pair_list {
-        let started = Instant::now();
+        let started = clock.now_ns();
         for alpha in &pool {
             let run = index.alpha_path(graph, s, t, alpha);
             index_settled += run.stats.settled;
         }
-        index_secs += started.elapsed().as_secs_f64();
+        index_secs += clock.elapsed(started).as_secs_f64();
 
-        let started = Instant::now();
+        let started = clock.now_ns();
         let prep = PrepTable::build(graph, t);
         for alpha in &pool {
             let run = scalarized_path_astar(graph, s, t, alpha, &prep);
             astar_settled += run.stats.settled;
         }
-        prep_secs += started.elapsed().as_secs_f64();
+        prep_secs += clock.elapsed(started).as_secs_f64();
         prep_scan_settled += prep.settled();
 
         // Answers must be identical query by query — re-run one pass
@@ -317,9 +325,10 @@ fn point_spec(nodes: usize, d: usize, seed: u64) -> WorkloadSpec {
 /// Builds the index over one graph and measures its row.
 fn measure_point(graph: &MultiCostGraph, config: &IndexExperimentConfig) -> IndexRow {
     let d = graph.num_cost_types();
-    let started = Instant::now();
+    let clock = default_clock();
+    let started = clock.now_ns();
     let index = RouteIndex::build(graph, &build_config(config));
-    let build_secs = started.elapsed().as_secs_f64();
+    let build_secs = clock.elapsed(started).as_secs_f64();
     assert!(
         index.exact(),
         "index build went inexact at {} nodes / d = {d} — raise max_bundle or \
@@ -327,6 +336,18 @@ fn measure_point(graph: &MultiCostGraph, config: &IndexExperimentConfig) -> Inde
         graph.num_nodes()
     );
     let metrics = measure_index(graph, &index, config.pairs, config.users, config.seed);
+    // A dedicated per-query latency pass over the same seeded queries (the
+    // aggregate loops above time whole pools, which hides tail behaviour).
+    let latency = mcn_obs::Histogram::new();
+    for &(s, t) in &seeded_pairs(graph, config.pairs, config.seed) {
+        for alpha in &user_pool(d, config.users, config.seed) {
+            let t0 = clock.now_ns();
+            let run = index.alpha_path(graph, s, t, alpha);
+            latency.record(clock.now_ns().saturating_sub(t0));
+            std::hint::black_box(run.stats.settled);
+        }
+    }
+    let latency = latency.snapshot("index.latency_ns", Vec::new());
     let queries = (config.pairs * config.users) as f64;
     let row = IndexRow {
         dims: d,
@@ -348,6 +369,9 @@ fn measure_point(graph: &MultiCostGraph, config: &IndexExperimentConfig) -> Inde
         index_sky_settled: json_safe(metrics.index_sky_settled),
         index_qps: json_safe(queries / metrics.index_secs.max(1e-12)),
         prep_qps: json_safe(queries / metrics.prep_secs.max(1e-12)),
+        p50_ms: json_safe(latency.p50 as f64 / 1e6),
+        p95_ms: json_safe(latency.p95 as f64 / 1e6),
+        p99_ms: json_safe(latency.p99 as f64 / 1e6),
     };
     if config.assert_improvements {
         assert!(
@@ -418,7 +442,7 @@ pub fn render_index_table(table: &IndexReport) -> String {
         table.config.pairs, table.config.users, table.config.regions
     ));
     out.push_str(&format!(
-        "{:<4} {:>7} {:>9} {:>10} {:>11} {:>11} {:>10} {:>9} {:>9} {:>11} {:>11}\n",
+        "{:<4} {:>7} {:>9} {:>10} {:>11} {:>11} {:>10} {:>9} {:>9} {:>11} {:>11} {:>9} {:>9}\n",
         "d",
         "nodes",
         "build s",
@@ -429,12 +453,14 @@ pub fn render_index_table(table: &IndexReport) -> String {
         "cold",
         "warm",
         "idx QPS",
-        "prep QPS"
+        "prep QPS",
+        "p50(ms)",
+        "p95(ms)"
     ));
     for r in &table.rows {
         out.push_str(&format!(
             "{:<4} {:>7} {:>9.3} {:>10} {:>11.1} {:>11.1} {:>10.1} {:>8.1}x {:>8.2}x \
-             {:>11.1} {:>11.1}\n",
+             {:>11.1} {:>11.1} {:>9.3} {:>9.3}\n",
             r.dims,
             r.nodes,
             r.build_secs,
@@ -445,7 +471,9 @@ pub fn render_index_table(table: &IndexReport) -> String {
             r.cold_reduction,
             r.warm_reduction,
             r.index_qps,
-            r.prep_qps
+            r.prep_qps,
+            r.p50_ms,
+            r.p95_ms
         ));
     }
     out

@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod gate;
 pub mod index;
 pub mod measure;
+pub mod obs;
 pub mod partition;
 pub mod prep;
 pub mod report;
@@ -49,6 +50,10 @@ pub use index::{
     IndexMetrics, IndexReport, IndexRow, INDEX_ID, MIN_INDEX_REDUCTION,
 };
 pub use measure::{measure_point, AlgoMeasurement, PointMeasurement, QueryKind};
+pub use obs::{
+    render_obs_table, run_obs, ObsExperimentConfig, ObsReport, ObsRow, MAX_DISABLED_OVERHEAD,
+    OBS_ID,
+};
 pub use partition::{
     dimacs_workload, render_partition_table, run_partition, run_partition_on, PartitionConfig,
     PartitionRow, PartitionTable, PARTITION_ID,

@@ -1,0 +1,462 @@
+//! The `obs` experiment: what does observability cost?
+//!
+//! Runs the same mixed query batch through [`mcn_engine::QueryEngine`] in
+//! three modes — no [`mcn_obs::Obs`] attached (`off`), an `Obs` attached
+//! with tracing disabled (`disabled`, the production default), and an
+//! `Obs` with span tracing enabled (`enabled`) — and reports the wall
+//! clock of each alongside the latency percentiles the engine collects.
+//!
+//! Two properties are *asserted* on every run (not just reported):
+//!
+//! * every mode produces byte-identical per-query fingerprints — the
+//!   observability layer must never change results, and
+//! * the `disabled` mode costs at most
+//!   [`ObsExperimentConfig::max_disabled_overhead`] (2 % by default) over
+//!   the bare engine — the always-on metrics path must stay near free.
+//!
+//! Wall-clock comparisons on shared CI hardware are noisy, so the modes
+//! are run *interleaved* for `repeats` rounds and each mode is scored by
+//! its **minimum** wall time (the classic best-of-N noise filter), while
+//! physical reads carry a blocking latency so the workload is dominated
+//! by I/O waits — the regime the serving stack actually runs in — rather
+//! than by scheduler jitter. The overhead assertion is one-sided and can
+//! be disabled with `--no-obs-asserts` for constrained environments.
+//!
+//! The `enabled` round also drains the tracer and embeds the
+//! chrome://tracing JSON document in the report (the `experiments` binary
+//! writes it to `obs-trace.json` next to the table), after proving it
+//! parses back losslessly.
+
+use crate::report::json_safe;
+use mcn_engine::{QueryEngine, QueryRequest};
+use mcn_gen::{generate_workload, WorkloadSpec};
+use mcn_obs::{chrome_trace_json, parse_chrome_trace, Obs};
+use mcn_storage::{BufferConfig, DiskManager, InMemoryDisk, MCNStore};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of the observability-overhead experiment in the
+/// `experiments` binary and its report file name (`<id>.json`).
+pub const OBS_ID: &str = "obs";
+
+/// Ceiling on the disabled-mode overhead asserted by default: attached
+/// metrics with tracing off must cost at most this fraction of the bare
+/// engine's wall clock.
+pub const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+/// Configuration of an observability-overhead run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsExperimentConfig {
+    /// Scale-down divider applied to the paper's default workload.
+    pub scale: usize,
+    /// Number of queries in the batch.
+    pub batch: usize,
+    /// Worker threads of the engine (the same count in every mode).
+    pub workers: usize,
+    /// Interleaved measurement rounds; each mode is scored by its minimum
+    /// wall time over the rounds.
+    pub repeats: usize,
+    /// Buffer size as a fraction of the store's data pages.
+    pub buffer: f64,
+    /// `k` used for the top-k members of the batch.
+    pub k: usize,
+    /// Blocking latency per physical page read, in microseconds (makes
+    /// the batch I/O-dominated, as in the `throughput` experiment).
+    pub read_latency_us: u64,
+    /// Master seed for the workload and the per-query weights.
+    pub seed: u64,
+    /// Ceiling asserted on the disabled-mode overhead when
+    /// `assert_overhead` is set.
+    pub max_disabled_overhead: f64,
+    /// Assert the disabled-overhead ceiling (fingerprint equality across
+    /// modes is always asserted).
+    pub assert_overhead: bool,
+}
+
+impl Default for ObsExperimentConfig {
+    fn default() -> Self {
+        Self {
+            scale: 50,
+            batch: 32,
+            workers: 4,
+            repeats: 3,
+            buffer: 0.01,
+            k: 4,
+            read_latency_us: 50,
+            seed: 2010,
+            max_disabled_overhead: MAX_DISABLED_OVERHEAD,
+            assert_overhead: true,
+        }
+    }
+}
+
+/// One row of the report: the batch in one observability mode.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsRow {
+    /// `"off"`, `"disabled"` or `"enabled"`.
+    pub mode: String,
+    /// Minimum wall-clock seconds over the interleaved rounds.
+    pub wall_seconds: f64,
+    /// Queries per second at that minimum wall time.
+    pub qps: f64,
+    /// Median per-query latency (ms) of the best round.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency (ms) of the best round.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency (ms) of the best round.
+    pub p99_ms: f64,
+    /// Total logical page requests of the best round.
+    pub logical_reads: u64,
+    /// Total physical page reads of the best round.
+    pub physical_reads: u64,
+}
+
+/// The persisted observability report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Always [`OBS_ID`].
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The configuration that produced the rows.
+    pub config: ObsExperimentConfig,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// One row per mode, in `off`, `disabled`, `enabled` order.
+    pub rows: Vec<ObsRow>,
+    /// `disabled` wall over `off` wall, minus one (may be negative:
+    /// best-of-N minima of a noisy quantity are not ordered).
+    pub disabled_overhead: f64,
+    /// `enabled` wall over `off` wall, minus one.
+    pub enabled_overhead: f64,
+    /// Span events captured by the `enabled` mode's final round.
+    pub trace_events: usize,
+    /// chrome://tracing JSON document of those events (load it via
+    /// `chrome://tracing` or Perfetto).
+    pub trace_json: String,
+}
+
+impl ObsReport {
+    /// Serializes the report as indented JSON (the `--out` format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a report from its JSON representation.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// The three modes, in reporting order.
+const MODES: [&str; 3] = ["off", "disabled", "enabled"];
+
+/// One mode's best-so-far measurements while the rounds interleave.
+struct ModeBest {
+    wall_seconds: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    logical_reads: u64,
+    physical_reads: u64,
+}
+
+impl ModeBest {
+    fn new() -> Self {
+        Self {
+            wall_seconds: f64::INFINITY,
+            qps: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            logical_reads: 0,
+            physical_reads: 0,
+        }
+    }
+}
+
+/// Builds the mixed request batch (same shape as the `throughput`
+/// experiment: skyline / top-k / incremental top-k round-robin with
+/// CEA/LSA alternation). Deterministic in `config.seed`.
+fn obs_request_batch(
+    spec: &WorkloadSpec,
+    queries: &[mcn_graph::NetworkLocation],
+    config: &ObsExperimentConfig,
+) -> Vec<QueryRequest> {
+    crate::requests::mixed_request_batch(
+        queries,
+        spec.cost_types,
+        config.batch,
+        config.seed ^ 0x0B5E_0B5E,
+        |i, location, weights, algorithm| match i % 3 {
+            0 => QueryRequest::Skyline {
+                location,
+                algorithm,
+            },
+            1 => QueryRequest::TopK {
+                location,
+                weights,
+                k: config.k,
+                algorithm,
+            },
+            _ => QueryRequest::TopKIncremental {
+                location,
+                weights,
+                take: config.k,
+                algorithm,
+            },
+        },
+    )
+}
+
+/// Runs the observability-overhead experiment described by `config`.
+///
+/// # Panics
+/// Panics if any mode or round produces fingerprints differing from the
+/// first run (observability must never change results), if the captured
+/// trace fails its chrome-JSON round-trip, or — when
+/// `config.assert_overhead` is set — if the disabled-mode overhead
+/// exceeds `config.max_disabled_overhead`.
+pub fn run_obs(config: &ObsExperimentConfig) -> ObsReport {
+    assert!(config.repeats >= 1, "need at least one measurement round");
+    let mut spec = WorkloadSpec::paper_scaled(config.scale);
+    spec.seed = config.seed;
+    let workload = generate_workload(&spec);
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::with_read_latency(
+        Duration::from_micros(config.read_latency_us),
+    ));
+    let store = Arc::new(
+        MCNStore::build_on(&workload.graph, disk, BufferConfig::Fraction(config.buffer))
+            .expect("workload store builds"),
+    );
+    let requests = obs_request_batch(&spec, &workload.queries, config);
+
+    let mut best: Vec<ModeBest> = MODES.iter().map(|_| ModeBest::new()).collect();
+    let mut baseline_prints: Option<Vec<String>> = None;
+    let mut trace_json = String::new();
+    let mut trace_events = 0usize;
+    for _round in 0..config.repeats {
+        for (m, &mode) in MODES.iter().enumerate() {
+            // Identical starting conditions for every measurement: empty
+            // buffer, zeroed pool counters.
+            store.buffer().clear();
+            let obs = match mode {
+                "off" => None,
+                _ => Some(Arc::new(Obs::new())),
+            };
+            if let Some(o) = &obs {
+                o.set_tracing(mode == "enabled");
+            }
+            let mut engine = QueryEngine::new(store.clone(), config.workers);
+            if let Some(o) = &obs {
+                engine = engine.with_obs(o.clone());
+            }
+            let result = engine.run_batch(&requests);
+            let fingerprints: Vec<String> = result
+                .outcomes
+                .iter()
+                .map(|o| o.output.fingerprint())
+                .collect();
+            match &baseline_prints {
+                None => baseline_prints = Some(fingerprints),
+                Some(base) => assert_eq!(
+                    base, &fingerprints,
+                    "observability mode `{mode}` changed query results"
+                ),
+            }
+            if mode == "enabled" {
+                let events = obs.as_ref().expect("enabled mode has obs").tracer().drain();
+                let json = chrome_trace_json(&events);
+                let parsed = parse_chrome_trace(&json)
+                    .expect("captured trace parses back as chrome trace JSON");
+                assert_eq!(parsed.len(), events.len(), "trace round-trip lost events");
+                trace_events = events.len();
+                trace_json = json;
+            }
+            let wall = result.stats.wall.as_secs_f64();
+            if wall < best[m].wall_seconds {
+                best[m] = ModeBest {
+                    wall_seconds: wall,
+                    qps: result.stats.qps,
+                    p50_ms: result.stats.latency.p50 as f64 / 1e6,
+                    p95_ms: result.stats.latency.p95 as f64 / 1e6,
+                    p99_ms: result.stats.latency.p99 as f64 / 1e6,
+                    logical_reads: result.stats.io.logical_reads,
+                    physical_reads: result.stats.io.physical_reads,
+                };
+            }
+        }
+    }
+
+    let off_wall = best[0].wall_seconds;
+    let disabled_overhead = overhead_vs(best[1].wall_seconds, off_wall);
+    let enabled_overhead = overhead_vs(best[2].wall_seconds, off_wall);
+    if config.assert_overhead {
+        assert!(
+            disabled_overhead <= config.max_disabled_overhead,
+            "attached-but-disabled observability cost {:.2}% over the bare engine \
+             (ceiling {:.2}%; rerun with --no-obs-asserts on constrained machines)",
+            disabled_overhead * 100.0,
+            config.max_disabled_overhead * 100.0
+        );
+    }
+
+    let rows = MODES
+        .iter()
+        .zip(&best)
+        .map(|(&mode, b)| ObsRow {
+            mode: mode.to_string(),
+            wall_seconds: json_safe(b.wall_seconds),
+            qps: json_safe(b.qps),
+            p50_ms: json_safe(b.p50_ms),
+            p95_ms: json_safe(b.p95_ms),
+            p99_ms: json_safe(b.p99_ms),
+            logical_reads: b.logical_reads,
+            physical_reads: b.physical_reads,
+        })
+        .collect();
+    ObsReport {
+        id: OBS_ID.to_string(),
+        title: format!(
+            "Observability overhead — {} mixed queries, best of {} interleaved rounds",
+            requests.len(),
+            config.repeats
+        ),
+        config: config.clone(),
+        queries: requests.len(),
+        rows,
+        disabled_overhead: json_safe(disabled_overhead),
+        enabled_overhead: json_safe(enabled_overhead),
+        trace_events,
+        trace_json,
+    }
+}
+
+/// `mode_wall / off_wall − 1`, guarded so a zero baseline reports zero
+/// overhead instead of dividing by zero.
+fn overhead_vs(mode_wall: f64, off_wall: f64) -> f64 {
+    if off_wall > 0.0 {
+        mode_wall / off_wall - 1.0
+    } else {
+        0.0
+    }
+}
+
+/// Renders an observability report in the same fixed-width style as the
+/// figure tables.
+pub fn render_obs_table(table: &ObsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} [{}]\n", table.title, table.id));
+    out.push_str(&format!(
+        "(batch of {} queries, {} workers, {} µs per physical read, scale 1/{})\n",
+        table.queries, table.config.workers, table.config.read_latency_us, table.config.scale
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>14} {:>14}\n",
+        "mode",
+        "wall(s)",
+        "QPS",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "logical reads",
+        "physical reads"
+    ));
+    for r in &table.rows {
+        out.push_str(&format!(
+            "{:<10} {:>10.4} {:>10.1} {:>9.3} {:>9.3} {:>9.3} {:>14} {:>14}\n",
+            r.mode,
+            r.wall_seconds,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.logical_reads,
+            r.physical_reads
+        ));
+    }
+    out.push_str(&format!(
+        "overhead vs off: disabled {:+.2}%, enabled {:+.2}%; {} trace events captured\n",
+        table.disabled_overhead * 100.0,
+        table.enabled_overhead * 100.0,
+        table.trace_events
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ObsExperimentConfig {
+        ObsExperimentConfig {
+            scale: 2000,
+            batch: 9,
+            workers: 2,
+            repeats: 2,
+            read_latency_us: 10,
+            // Overhead on a sub-millisecond batch is all noise; the
+            // structural assertions (fingerprints, trace round-trip)
+            // still run.
+            assert_overhead: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn obs_experiment_reports_all_three_modes() {
+        let report = run_obs(&tiny_config());
+        assert_eq!(report.queries, 9);
+        let modes: Vec<&str> = report.rows.iter().map(|r| r.mode.as_str()).collect();
+        assert_eq!(modes, vec!["off", "disabled", "enabled"]);
+        for row in &report.rows {
+            assert!(row.wall_seconds > 0.0);
+            assert!(row.qps > 0.0);
+            assert!(row.logical_reads > 0);
+            assert!(row.physical_reads <= row.logical_reads);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+        }
+        // Logical reads are a pure function of the batch: identical in
+        // every mode.
+        assert_eq!(report.rows[0].logical_reads, report.rows[1].logical_reads);
+        assert_eq!(report.rows[0].logical_reads, report.rows[2].logical_reads);
+        assert!(report.disabled_overhead.is_finite());
+        assert!(report.enabled_overhead.is_finite());
+    }
+
+    #[test]
+    fn enabled_mode_captures_a_loadable_trace() {
+        let report = run_obs(&tiny_config());
+        // Every query contributes at least schedule + search + unpack.
+        assert!(report.trace_events >= 3 * report.queries);
+        let parsed = parse_chrome_trace(&report.trace_json).unwrap();
+        assert_eq!(parsed.len(), report.trace_events);
+        assert!(parsed.iter().all(|e| e.ph == "X"));
+        assert!(parsed.iter().any(|e| e.name == "search"));
+        assert!(parsed.iter().any(|e| e.name == "fingerprint"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_obs(&tiny_config());
+        let json = report.to_json();
+        let parsed = ObsReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        // Deterministic serializer: re-serializing reproduces the bytes,
+        // embedded trace document included.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn overhead_guard_handles_zero_wall() {
+        // A zero baseline reports zero overhead instead of dividing by
+        // zero (exercised directly: real runs always have positive wall).
+        assert_eq!(overhead_vs(1.0, 0.0), 0.0);
+        assert!((overhead_vs(1.02, 1.0) - 0.02).abs() < 1e-12);
+    }
+}

@@ -34,13 +34,13 @@ use mcn_engine::{PathContext, QueryEngine, QueryOutput, QueryRequest};
 use mcn_gen::{generate_workload, CostDistribution, WorkloadSpec};
 use mcn_graph::{MultiCostGraph, NodeId};
 use mcn_mcpp::{pareto_paths_exhaustive, pareto_paths_prepped};
+use mcn_obs::default_clock;
 use mcn_prep::PrepTable;
 use mcn_storage::{BufferConfig, MCNStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Identifier of the prep experiment in the `experiments` binary and its
 /// report file name (`<id>.json`).
@@ -218,15 +218,16 @@ pub fn measure_labels(graph: &MultiCostGraph, pairs: usize, seed: u64) -> LabelM
     let mut skyline_size = 0usize;
     let mut exhaustive_secs = 0.0f64;
     let mut prepped_secs = 0.0f64;
+    let clock = default_clock();
     for &(s, t) in &pair_list {
-        let started = Instant::now();
+        let started = clock.now_ns();
         let exhaustive = pareto_paths_exhaustive(graph, s, t);
-        exhaustive_secs += started.elapsed().as_secs_f64();
+        exhaustive_secs += clock.elapsed(started).as_secs_f64();
 
-        let started = Instant::now();
+        let started = clock.now_ns();
         let prep = PrepTable::build(graph, t);
         let prepped = pareto_paths_prepped(graph, s, t, &prep);
-        prepped_secs += started.elapsed().as_secs_f64();
+        prepped_secs += clock.elapsed(started).as_secs_f64();
 
         assert_eq!(
             QueryOutput::Paths(exhaustive.paths.clone()).fingerprint(),

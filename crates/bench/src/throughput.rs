@@ -81,6 +81,13 @@ pub struct ThroughputRow {
     pub physical_reads: u64,
     /// Aggregate buffer hit ratio over the batch.
     pub hit_ratio: f64,
+    /// Median per-query latency (claim → completion), in milliseconds,
+    /// from the engine's deterministic log2 histogram.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency (ms).
+    pub p99_ms: f64,
 }
 
 /// The persisted throughput report.
@@ -211,6 +218,9 @@ pub fn run_throughput(config: &ThroughputConfig) -> ThroughputTable {
             logical_reads: logical,
             physical_reads: result.stats.io.physical_reads,
             hit_ratio: json_safe(result.stats.io.hit_ratio()),
+            p50_ms: json_safe(result.stats.latency.p50 as f64 / 1e6),
+            p95_ms: json_safe(result.stats.latency.p95 as f64 / 1e6),
+            p99_ms: json_safe(result.stats.latency.p99 as f64 / 1e6),
         });
     }
 
@@ -239,19 +249,31 @@ pub fn render_throughput_table(table: &ThroughputTable) -> String {
         table.config.read_latency_us
     ));
     out.push_str(&format!(
-        "{:<10} {:>10} {:>10} {:>9} {:>14} {:>14} {:>10}\n",
-        "workers", "wall(s)", "QPS", "speedup", "logical reads", "physical reads", "hit ratio"
+        "{:<10} {:>10} {:>10} {:>9} {:>14} {:>14} {:>10} {:>9} {:>9} {:>9}\n",
+        "workers",
+        "wall(s)",
+        "QPS",
+        "speedup",
+        "logical reads",
+        "physical reads",
+        "hit ratio",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)"
     ));
     for r in &table.rows {
         out.push_str(&format!(
-            "{:<10} {:>10.4} {:>10.1} {:>8.2}x {:>14} {:>14} {:>10.3}\n",
+            "{:<10} {:>10.4} {:>10.1} {:>8.2}x {:>14} {:>14} {:>10.3} {:>9.3} {:>9.3} {:>9.3}\n",
             r.workers,
             r.wall_seconds,
             r.qps,
             r.speedup,
             r.logical_reads,
             r.physical_reads,
-            r.hit_ratio
+            r.hit_ratio,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms
         ));
     }
     out
@@ -284,6 +306,10 @@ mod tests {
             assert!(row.qps > 0.0);
             assert!(row.logical_reads > 0);
             assert!(row.physical_reads <= row.logical_reads);
+            // Percentiles come from the engine's latency histogram:
+            // positive (10 µs blocking reads dominate) and ordered.
+            assert!(row.p50_ms > 0.0);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
         }
         // The in-run assertions already proved result equality; the rows
         // must also show identical logical I/O.

@@ -75,6 +75,20 @@ impl PathContext {
         self.cache.get_or_build(&self.graph, target)
     }
 
+    /// [`PathContext::table_for`] under an observability context: records
+    /// `prep-lookup` (and `prep-build` on a miss) spans when tracing is
+    /// enabled. Returns the same table as the unobserved variant.
+    pub fn table_for_observed(
+        &self,
+        target: NodeId,
+        obs: Option<&mcn_obs::Obs>,
+        tier: &str,
+        query: u64,
+    ) -> Arc<PrepTable> {
+        self.cache
+            .get_or_build_observed(&self.graph, target, obs, tier, query)
+    }
+
     /// Snapshot of the cache counters (the `prep` experiment's cold/warm
     /// evidence).
     pub fn cache_stats(&self) -> PrepCacheStats {

@@ -3,13 +3,16 @@
 use crate::context::PathContext;
 use crate::request::{QueryOutcome, QueryRequest};
 use mcn_graph::RegionId;
+use mcn_obs::{
+    default_clock, Clock, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Obs,
+};
 use mcn_prep::PrepCacheStats;
 use mcn_storage::{with_seed_region, IoStats, MCNStore, PartitionedStore, StoreView};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Aggregate statistics of one executed batch.
 #[derive(Clone, Debug)]
@@ -37,6 +40,21 @@ pub struct BatchStats {
     /// delta of the attached [`PathContext`]'s cache; all-zero when the
     /// engine has no path context or the batch had no path queries).
     pub prep_cache: PrepCacheStats,
+    /// Per-query latency over the whole batch (claim to completion on the
+    /// engine's clock) as a deterministic log2 histogram with p50/p95/p99
+    /// (`engine.latency_ns`, nanoseconds).
+    pub latency: HistogramSnapshot,
+    /// The same latency histogram split by serving tier
+    /// ([`QueryRequest::kind`]), labelled `tier=<kind>` and sorted by tier
+    /// name; one entry per tier present in the batch.
+    pub tier_latency: Vec<HistogramSnapshot>,
+    /// Batch-local metrics snapshot: the I/O and prep-cache *deltas* above
+    /// republished as `storage.*` / `prep.cache.*` counters, plus
+    /// `engine.queries`/`engine.workers` and the latency histograms — so a
+    /// batch's whole accounting exports as one deterministic JSON or
+    /// Prometheus document. Counters here reconcile byte-exactly with
+    /// [`BatchStats::io`] and [`BatchStats::prep_cache`].
+    pub metrics: MetricsSnapshot,
 }
 
 /// A batch of outcomes plus its aggregate statistics. `outcomes[i]` belongs
@@ -142,6 +160,10 @@ pub struct QueryEngine<S: StoreView + ?Sized = MCNStore> {
     /// Present when the engine serves [`QueryRequest::PathSkyline`]
     /// requests: the graph plus the shared prep-table cache.
     paths: Option<Arc<PathContext>>,
+    /// Observability context: supplies the clock every batch is timed
+    /// against, receives lifecycle spans when tracing is enabled, and
+    /// accumulates cross-batch metrics in its shared registry.
+    obs: Option<Arc<Obs>>,
 }
 
 const _: () = crate::assert_send_sync::<QueryEngine>();
@@ -156,6 +178,7 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
             store,
             workers: workers.max(1),
             paths: None,
+            obs: None,
         }
     }
 
@@ -173,6 +196,22 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
         self.paths.as_ref()
     }
 
+    /// Attaches an observability context. Batches are then timed against
+    /// its [`Clock`], publish cumulative store/prep/engine metrics into
+    /// its registry after every batch, and — when `obs.set_tracing(true)`
+    /// — record per-query lifecycle spans
+    /// (`schedule → prep-lookup/build → search → unpack → fingerprint`)
+    /// into its tracer. Observation never changes query results.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability context, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
     /// The shared store.
     pub fn store(&self) -> &Arc<S> {
         &self.store
@@ -185,7 +224,7 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
 
     /// Executes one request on the calling thread (no pool involved).
     pub fn run_one(&self, request: &QueryRequest) -> QueryOutcome {
-        request.execute_with(&self.store, self.paths.as_deref())
+        request.execute_observed(&self.store, self.paths.as_deref(), self.obs.as_deref(), 0)
     }
 
     /// Executes `requests` across the worker pool and returns the outcomes
@@ -234,19 +273,59 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
             .as_deref()
             .map(|ctx| ctx.cache_stats())
             .unwrap_or_default();
-        let started = Instant::now();
+        let obs = self.obs.as_deref();
+        let clock: &dyn Clock = match obs {
+            Some(o) => o.clock(),
+            None => default_clock(),
+        };
+        // Per-query latency (claim → completion), overall and split by
+        // serving tier. `Histogram::record` is wait-free, so workers share
+        // the histograms by reference without a lock.
+        let latency_hist = Histogram::new();
+        let tier_hists: Vec<(&'static str, Histogram)> = {
+            let mut tiers: Vec<&'static str> = requests.iter().map(QueryRequest::kind).collect();
+            tiers.sort_unstable();
+            tiers.dedup();
+            tiers.into_iter().map(|t| (t, Histogram::new())).collect()
+        };
+        let started_ns = clock.now_ns();
         let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let affine_hits = AtomicU64::new(0);
         let affine_steals = AtomicU64::new(0);
 
         let paths = self.paths.as_deref();
+        let latency_hist = &latency_hist;
+        let tier_hists = &tier_hists;
         let execute = |i: usize| {
+            let tier = requests[i].kind();
+            let t0 = clock.now_ns();
+            if let Some(o) = obs {
+                // The schedule span covers batch submission → this claim.
+                o.tracer()
+                    .record("schedule", tier, i as u64, started_ns, t0);
+            }
+            let run = || requests[i].execute_observed(&self.store, paths, obs, i as u64);
             let outcome = match regions {
-                Some(tags) => {
-                    with_seed_region(tags[i], || requests[i].execute_with(&self.store, paths))
-                }
-                None => requests[i].execute_with(&self.store, paths),
+                Some(tags) => with_seed_region(tags[i], run),
+                None => run(),
             };
+            if let Some(o) = obs {
+                if o.tracing() {
+                    // Fingerprinting re-serializes the output, so only pay
+                    // for it when someone is collecting the trace.
+                    let _span = o.span("fingerprint", tier, i as u64);
+                    let _ = outcome.output.fingerprint();
+                }
+            }
+            let t1 = clock.now_ns();
+            let latency = t1.saturating_sub(t0);
+            latency_hist.record(latency);
+            tier_hists
+                .iter()
+                .find(|(t, _)| *t == tier)
+                .expect("every request kind has a histogram")
+                .1
+                .record(latency);
             let mut slot = slots[i].lock();
             let _slot_w = mcn_witness::acquire("engine::run.slots");
             *slot = Some(outcome);
@@ -313,13 +392,59 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
             }
         });
 
-        let wall = started.elapsed();
+        let wall = clock.elapsed(started_ns);
         let io = self.store.io_stats() - io_before;
         let prep_cache = self
             .paths
             .as_deref()
             .map(|ctx| ctx.cache_stats().since(&prep_before))
             .unwrap_or_default();
+        let latency = latency_hist.snapshot("engine.latency_ns", Vec::new());
+        let tier_latency: Vec<HistogramSnapshot> = tier_hists
+            .iter()
+            .map(|(tier, hist)| {
+                hist.snapshot(
+                    "engine.latency_ns",
+                    vec![("tier".to_string(), tier.to_string())],
+                )
+            })
+            .collect();
+
+        // Batch-local metrics: the deltas above, republished so one
+        // snapshot carries the whole batch accounting. Values reconcile
+        // byte-exactly with `io`/`prep_cache` because they are set from
+        // the same structs.
+        let batch_registry = MetricsRegistry::new();
+        io.publish(&batch_registry, &[]);
+        prep_cache.publish(&batch_registry, &[]);
+        batch_registry.counter("engine.queries", &[]).set(n as u64);
+        batch_registry
+            .counter("engine.workers", &[])
+            .set(self.workers as u64);
+        batch_registry.merge_histogram(&latency);
+        for snap in &tier_latency {
+            batch_registry.merge_histogram(snap);
+        }
+        let metrics = batch_registry.snapshot();
+
+        // Cross-batch metrics: cumulative store/prep counters plus the
+        // batch latency merged into the shared registry. One engine batch
+        // runs at a time per store, so the absolute publishes are the
+        // single-publisher case `IoStats::publish` documents.
+        if let Some(o) = obs {
+            let shared = o.registry();
+            self.store.publish_metrics(shared);
+            if let Some(ctx) = paths {
+                ctx.cache_stats().publish(shared, &[]);
+            }
+            shared.counter("engine.batches", &[]).inc();
+            shared.counter("engine.queries", &[]).add(n as u64);
+            shared.merge_histogram(&latency);
+            for snap in &tier_latency {
+                shared.merge_histogram(snap);
+            }
+        }
+
         let outcomes: Vec<QueryOutcome> = slots
             .into_iter()
             .map(|slot| {
@@ -343,6 +468,9 @@ impl<S: StoreView + ?Sized> QueryEngine<S> {
                 affine_hits: affine_hits.into_inner(),
                 affine_steals: affine_steals.into_inner(),
                 prep_cache,
+                latency,
+                tier_latency,
+                metrics,
             },
         }
     }
@@ -821,6 +949,161 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn manual_clock_makes_batch_timing_deterministic() {
+        let (store, requests) = fixture();
+        let step = 1_000u64;
+        let clock = Arc::new(mcn_obs::ManualClock::with_step(0, step));
+        let obs = Arc::new(mcn_obs::Obs::with_clock(clock.clone()));
+        let engine = QueryEngine::new(store, 1).with_obs(obs);
+        let result = engine.run_batch(&requests);
+        let n = requests.len() as u64;
+        // One worker, tracing off: one read at batch start, four per query
+        // (claim, request start, request wall, completion), one at the end.
+        assert_eq!(clock.reads(), 4 * n + 2);
+        assert_eq!(
+            result.stats.wall,
+            Duration::from_nanos((4 * n + 1) * step),
+            "batch wall time is exact on a stepping clock"
+        );
+        for outcome in &result.outcomes {
+            assert_eq!(outcome.wall, Duration::from_nanos(step));
+        }
+        // Every query took exactly claim→completion = 3 steps, so the
+        // histogram collapses to a single value and every percentile
+        // clamps to the observed max.
+        let lat = &result.stats.latency;
+        assert_eq!(lat.count, n);
+        assert_eq!((lat.min, lat.max), (3 * step, 3 * step));
+        assert_eq!((lat.p50, lat.p95, lat.p99), (3 * step, 3 * step, 3 * step));
+        assert!(result.stats.qps > 0.0);
+    }
+
+    #[test]
+    fn frozen_clock_reports_zero_wall_and_zero_qps() {
+        let (store, requests) = fixture();
+        let obs = Arc::new(mcn_obs::Obs::with_clock(Arc::new(
+            mcn_obs::ManualClock::new(7),
+        )));
+        let result = QueryEngine::new(store, 2)
+            .with_obs(obs)
+            .run_batch(&requests);
+        assert_eq!(result.stats.wall, Duration::ZERO);
+        assert_eq!(result.stats.qps, 0.0);
+        assert_eq!(result.stats.latency.count, requests.len() as u64);
+        assert_eq!(result.stats.latency.max, 0);
+    }
+
+    #[test]
+    fn batch_metrics_reconcile_with_io_and_prep_stats() {
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        let obs = Arc::new(mcn_obs::Obs::new());
+        let engine = QueryEngine::new(store.clone(), 4)
+            .with_path_context(ctx.clone())
+            .with_obs(obs.clone());
+        let result = engine.run_batch(&requests);
+        let n = requests.len() as u64;
+
+        // Batch-local snapshot mirrors the delta structs byte-exactly.
+        let m = &result.stats.metrics;
+        let io = result.stats.io;
+        assert_eq!(
+            m.counter_value("storage.logical_reads", &[]),
+            Some(io.logical_reads)
+        );
+        assert_eq!(
+            m.counter_value("storage.buffer_hits", &[]),
+            Some(io.buffer_hits)
+        );
+        assert_eq!(
+            m.counter_value("storage.buffer_misses", &[]),
+            Some(io.buffer_misses)
+        );
+        assert_eq!(io.logical_reads, io.buffer_hits + io.buffer_misses);
+        let cache = result.stats.prep_cache;
+        assert_eq!(m.counter_value("prep.cache.hits", &[]), Some(cache.hits));
+        assert_eq!(
+            m.counter_value("prep.cache.misses", &[]),
+            Some(cache.misses)
+        );
+        assert_eq!(m.counter_value("engine.queries", &[]), Some(n));
+        assert_eq!(m.counter_value("engine.workers", &[]), Some(4));
+
+        // Latency histograms: one overall, one per tier, and the tier
+        // splits partition the batch.
+        assert_eq!(result.stats.latency.count, n);
+        let tier_total: u64 = result.stats.tier_latency.iter().map(|h| h.count).sum();
+        assert_eq!(tier_total, n);
+        let tiers: Vec<String> = result
+            .stats
+            .tier_latency
+            .iter()
+            .map(|h| h.labels[0].1.clone())
+            .collect();
+        let mut sorted = tiers.clone();
+        sorted.sort();
+        assert_eq!(tiers, sorted, "tier histograms are sorted by tier name");
+        assert!(m.histogram("engine.latency_ns", &[]).is_some());
+
+        // Shared registry: cumulative counters reconcile with the store's
+        // own accounting after the batch.
+        let shared = obs.registry().snapshot();
+        assert_eq!(shared.counter_value("engine.batches", &[]), Some(1));
+        assert_eq!(shared.counter_value("engine.queries", &[]), Some(n));
+        let total = store.io_stats();
+        assert_eq!(
+            shared.counter_value("storage.logical_reads", &[]),
+            Some(total.logical_reads)
+        );
+        assert_eq!(
+            shared.counter_value("prep.cache.hits", &[]),
+            Some(ctx.cache_stats().hits)
+        );
+
+        // The snapshot's exporters are deterministic: JSON round-trips.
+        let text = m.to_json();
+        let back = mcn_obs::MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn tracing_records_the_full_query_lifecycle() {
+        let (store, ctx, requests) = mixed_alpha_fixture();
+        let obs = Arc::new(mcn_obs::Obs::new());
+        obs.set_tracing(true);
+        let engine = QueryEngine::new(store.clone(), 2)
+            .with_path_context(ctx.clone())
+            .with_obs(obs.clone());
+        let traced = engine.run_batch(&requests);
+        let events = obs.tracer().drain();
+        assert_eq!(obs.tracer().dropped(), 0);
+        for i in 0..requests.len() as u64 {
+            let names: Vec<&str> = events
+                .iter()
+                .filter(|e| e.query == i)
+                .map(|e| e.name.as_str())
+                .collect();
+            for phase in ["schedule", "search", "unpack", "fingerprint"] {
+                assert!(names.contains(&phase), "query {i} is missing {phase:?}");
+            }
+        }
+        // Path-flavored queries also traced their prep-cache traffic.
+        assert!(events.iter().any(|e| e.name == "prep-lookup"));
+        assert!(events.iter().any(|e| e.name == "prep-build"));
+        // The trace exports as chrome://tracing JSON and round-trips.
+        let json = mcn_obs::chrome_trace_json(&events);
+        let back = mcn_obs::parse_chrome_trace(&json).unwrap();
+        assert_eq!(back.len(), events.len());
+
+        // Observability never changes results: rerunning with tracing off
+        // (warm cache notwithstanding) is fingerprint-identical.
+        obs.set_tracing(false);
+        ctx.clear_cache();
+        let untraced = engine.run_batch(&requests);
+        assert_eq!(fingerprints(&traced), fingerprints(&untraced));
+        assert!(obs.tracer().is_empty());
     }
 
     #[test]

@@ -8,10 +8,11 @@ use mcn_core::{
 };
 use mcn_graph::{NetworkLocation, NodeId};
 use mcn_mcpp::{pareto_paths_prepped, ParetoLabel};
+use mcn_obs::{default_clock, Clock, Obs};
 use mcn_storage::StoreView;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One self-contained preference query, ready to be scheduled.
 #[derive(Clone, Debug, PartialEq)]
@@ -120,13 +121,45 @@ impl QueryRequest {
         store: &Arc<S>,
         paths: Option<&PathContext>,
     ) -> QueryOutcome {
-        let started = Instant::now();
+        self.execute_observed(store, paths, None, 0)
+    }
+
+    /// [`QueryRequest::execute_with`] under an observability context: wall
+    /// time comes from the context's [`Clock`] (the process-wide monotonic
+    /// clock when `obs` is `None`), and — when tracing is enabled — each
+    /// phase of the query lifecycle (`prep-lookup`/`prep-build`, `search`,
+    /// `unpack`) is recorded as a span tagged with `query` (the request's
+    /// batch index). Observation never changes results: outputs are
+    /// byte-identical with any `obs` value.
+    ///
+    /// # Panics
+    /// Panics on path-flavored requests when `paths` is `None`.
+    pub fn execute_observed<S: StoreView + ?Sized>(
+        &self,
+        store: &Arc<S>,
+        paths: Option<&PathContext>,
+        obs: Option<&Obs>,
+        query: u64,
+    ) -> QueryOutcome {
+        let clock: &dyn Clock = match obs {
+            Some(o) => o.clock(),
+            None => default_clock(),
+        };
+        let tier = self.kind();
+        // `Option<Span>`: `None` when unobserved, dropped (= recorded) at
+        // the end of the enclosing block otherwise.
+        let span = |name: &'static str| obs.map(|o| o.span(name, tier, query));
+        let started_ns = clock.now_ns();
         let (output, stats) = match self {
             QueryRequest::Skyline {
                 location,
                 algorithm,
             } => {
-                let r = skyline_query(store, *location, *algorithm);
+                let r = {
+                    let _s = span("search");
+                    skyline_query(store, *location, *algorithm)
+                };
+                let _s = span("unpack");
                 (QueryOutput::Skyline(r.facilities), r.stats)
             }
             QueryRequest::TopK {
@@ -135,13 +168,17 @@ impl QueryRequest {
                 k,
                 algorithm,
             } => {
-                let r = topk_query(
-                    store,
-                    *location,
-                    WeightedSum::new(weights.clone()),
-                    *k,
-                    *algorithm,
-                );
+                let r = {
+                    let _s = span("search");
+                    topk_query(
+                        store,
+                        *location,
+                        WeightedSum::new(weights.clone()),
+                        *k,
+                        *algorithm,
+                    )
+                };
+                let _s = span("unpack");
                 (QueryOutput::TopK(r.entries), r.stats)
             }
             QueryRequest::TopKIncremental {
@@ -150,6 +187,7 @@ impl QueryRequest {
                 take,
                 algorithm,
             } => {
+                let _s = span("search");
                 let aggregate = WeightedSum::new(weights.clone());
                 match algorithm {
                     Algorithm::Lsa => {
@@ -172,7 +210,11 @@ impl QueryRequest {
                      QueryEngine::with_path_context",
                 );
                 if let Some(index) = ctx.serving_index() {
-                    let run = index.skyline_paths(ctx.graph(), *source, *target);
+                    let run = {
+                        let _s = span("search");
+                        index.skyline_paths(ctx.graph(), *source, *target)
+                    };
+                    let _s = span("unpack");
                     let stats = QueryStats {
                         algorithm: "MCPP-index".to_string(),
                         nodes_settled: run.stats.settled as usize,
@@ -181,28 +223,29 @@ impl QueryRequest {
                         result_size: run.paths.len(),
                         ..QueryStats::default()
                     };
-                    return QueryOutcome {
-                        output: QueryOutput::Paths(run.paths),
-                        stats,
-                        wall: started.elapsed(),
+                    (QueryOutput::Paths(run.paths), stats)
+                } else {
+                    let prep = ctx.table_for_observed(*target, obs, tier, query);
+                    let run = {
+                        let _s = span("search");
+                        pareto_paths_prepped(ctx.graph(), *source, *target, &prep)
                     };
+                    let _s = span("unpack");
+                    // Path queries never touch the paged store; map the label
+                    // accounting onto the query-stats fields the reports read:
+                    // candidates = labels created, dominance checks = labels
+                    // discarded by pruning or node-level dominance.
+                    let stats = QueryStats {
+                        algorithm: "MCPP-prep".to_string(),
+                        nodes_settled: run.stats.nodes_settled as usize,
+                        candidates: run.stats.labels_created as usize,
+                        dominance_checks: (run.stats.labels_pruned + run.stats.labels_dominated)
+                            as usize,
+                        result_size: run.paths.len(),
+                        ..QueryStats::default()
+                    };
+                    (QueryOutput::Paths(run.paths), stats)
                 }
-                let prep = ctx.table_for(*target);
-                let run = pareto_paths_prepped(ctx.graph(), *source, *target, &prep);
-                // Path queries never touch the paged store; map the label
-                // accounting onto the query-stats fields the reports read:
-                // candidates = labels created, dominance checks = labels
-                // discarded by pruning or node-level dominance.
-                let stats = QueryStats {
-                    algorithm: "MCPP-prep".to_string(),
-                    nodes_settled: run.stats.nodes_settled as usize,
-                    candidates: run.stats.labels_created as usize,
-                    dominance_checks: (run.stats.labels_pruned + run.stats.labels_dominated)
-                        as usize,
-                    result_size: run.paths.len(),
-                    ..QueryStats::default()
-                };
-                (QueryOutput::Paths(run.paths), stats)
             }
             QueryRequest::AlphaPath {
                 source,
@@ -210,10 +253,15 @@ impl QueryRequest {
                 alpha,
             } => {
                 let ctx = paths.expect(
-                    "AlphaPath requests need a PathContext — build the engine with                      QueryEngine::with_path_context",
+                    "AlphaPath requests need a PathContext — build the engine with \
+                     QueryEngine::with_path_context",
                 );
                 if let Some(index) = ctx.serving_index() {
-                    let run = index.alpha_path(ctx.graph(), *source, *target, alpha);
+                    let run = {
+                        let _s = span("search");
+                        index.alpha_path(ctx.graph(), *source, *target, alpha)
+                    };
+                    let _s = span("unpack");
                     let stats = QueryStats {
                         algorithm: "alpha-index".to_string(),
                         nodes_settled: run.stats.settled as usize,
@@ -222,31 +270,32 @@ impl QueryRequest {
                         result_size: usize::from(run.path.is_some()),
                         ..QueryStats::default()
                     };
-                    return QueryOutcome {
-                        output: QueryOutput::AlphaPath(run.path),
-                        stats,
-                        wall: started.elapsed(),
+                    (QueryOutput::AlphaPath(run.path), stats)
+                } else {
+                    let prep = ctx.table_for_observed(*target, obs, tier, query);
+                    let run = {
+                        let _s = span("search");
+                        scalarized_path_astar(ctx.graph(), *source, *target, alpha, &prep)
                     };
+                    let _s = span("unpack");
+                    // Same stats mapping idea as PathSkyline: candidates =
+                    // heap pushes, dominance checks = candidates pruned.
+                    let stats = QueryStats {
+                        algorithm: "alpha-astar".to_string(),
+                        nodes_settled: run.stats.settled as usize,
+                        candidates: run.stats.pushed as usize,
+                        dominance_checks: run.stats.pruned as usize,
+                        result_size: usize::from(run.path.is_some()),
+                        ..QueryStats::default()
+                    };
+                    (QueryOutput::AlphaPath(run.path), stats)
                 }
-                let prep = ctx.table_for(*target);
-                let run = scalarized_path_astar(ctx.graph(), *source, *target, alpha, &prep);
-                // Same stats mapping idea as PathSkyline: candidates = heap
-                // pushes, dominance checks = candidates pruned.
-                let stats = QueryStats {
-                    algorithm: "alpha-astar".to_string(),
-                    nodes_settled: run.stats.settled as usize,
-                    candidates: run.stats.pushed as usize,
-                    dominance_checks: run.stats.pruned as usize,
-                    result_size: usize::from(run.path.is_some()),
-                    ..QueryStats::default()
-                };
-                (QueryOutput::AlphaPath(run.path), stats)
             }
         };
         QueryOutcome {
             output,
             stats,
-            wall: started.elapsed(),
+            wall: clock.elapsed(started_ns),
         }
     }
 }

@@ -1,0 +1,226 @@
+//! Exporters: chrome://tracing `trace_event` JSON for spans, and a
+//! Prometheus-style text exposition for metric snapshots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::bucket_upper;
+use crate::registry::MetricsSnapshot;
+use crate::span::SpanEvent;
+
+/// One chrome `trace_event` record. We emit complete events (`ph: "X"`)
+/// with microsecond timestamps, which is what chrome://tracing and
+/// Perfetto expect. The export is the *bare JSON array* form of the trace
+/// format (chrome accepts either the array or the `traceEvents` object
+/// wrapper).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: String,
+    pub ts: f64,
+    pub dur: f64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: TraceArgs,
+}
+
+/// Per-event metadata shown in the chrome://tracing detail pane.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceArgs {
+    pub tier: String,
+    pub query: u64,
+}
+
+/// Convert drained span events into chrome trace events (one `pid`, one
+/// `tid` per worker stripe, 1-based so chrome doesn't hide tid 0).
+pub fn to_trace_events(events: &[SpanEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .map(|e| TraceEvent {
+            name: e.name.clone(),
+            cat: e.tier.clone(),
+            ph: "X".to_string(),
+            ts: e.start_ns as f64 / 1_000.0,
+            dur: e.dur_ns as f64 / 1_000.0,
+            pid: 1,
+            tid: u64::from(e.worker) + 1,
+            args: TraceArgs {
+                tier: e.tier.clone(),
+                query: e.query,
+            },
+        })
+        .collect()
+}
+
+/// Serialize span events as a chrome://tracing-loadable JSON document.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    serde::json::to_string_pretty(&to_trace_events(events))
+}
+
+/// Parse a chrome trace document produced by [`chrome_trace_json`] (used
+/// by round-trip checks).
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    serde::json::from_str(text).map_err(|e| e.to_string())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn label_block_with(labels: &[(String, String)], extra_key: &str, extra_val: &str) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v))
+        .chain(std::iter::once(format!("{extra_key}=\"{extra_val}\"")))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render a snapshot in the Prometheus text exposition format:
+/// `# TYPE` headers, counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// Output order follows the snapshot (sorted by name/labels), so the
+/// exposition is deterministic.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        type_line(&mut out, &name, "counter");
+        out.push_str(&format!("{}{} {}\n", name, label_block(&c.labels), c.value));
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        type_line(&mut out, &name, "gauge");
+        out.push_str(&format!("{}{} {}\n", name, label_block(&g.labels), g.value));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        type_line(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for &(idx, n) in &h.buckets {
+            cumulative += n;
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                name,
+                label_block_with(&h.labels, "le", &bucket_upper(idx as usize).to_string()),
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            label_block_with(&h.labels, "le", "+Inf"),
+            h.count
+        ));
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            name,
+            label_block(&h.labels),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            name,
+            label_block(&h.labels),
+            h.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "schedule".into(),
+                tier: "skyline".into(),
+                query: 0,
+                worker: 0,
+                start_ns: 1_000,
+                dur_ns: 500,
+            },
+            SpanEvent {
+                name: "search".into(),
+                tier: "skyline".into(),
+                query: 0,
+                worker: 0,
+                start_ns: 1_500,
+                dur_ns: 10_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_scales_to_micros() {
+        let events = sample_events();
+        let text = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].ph, "X");
+        assert_eq!(parsed[0].ts, 1.0);
+        assert_eq!(parsed[0].dur, 0.5);
+        assert_eq!(parsed[1].args.query, 0);
+        assert_eq!(parsed[1].tid, 1);
+        // Byte-exact reserialization.
+        assert_eq!(serde::json::to_string_pretty(&parsed), text);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_sections() {
+        let reg = MetricsRegistry::new();
+        reg.counter("storage.logical_reads", &[("region", "r0")])
+            .set(10);
+        reg.gauge("prep.cache.hit_ratio", &[]).set(0.75);
+        let h = Histogram::new();
+        h.record(3);
+        h.record(700);
+        reg.merge_histogram(&h.snapshot("engine.latency_ns", vec![("tier".into(), "topk".into())]));
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE storage_logical_reads counter"));
+        assert!(text.contains("storage_logical_reads{region=\"r0\"} 10"));
+        assert!(text.contains("prep_cache_hit_ratio 0.75"));
+        assert!(text.contains("engine_latency_ns_bucket{tier=\"topk\",le=\"3\"} 1"));
+        assert!(text.contains("engine_latency_ns_bucket{tier=\"topk\",le=\"1023\"} 2"));
+        assert!(text.contains("engine_latency_ns_bucket{tier=\"topk\",le=\"+Inf\"} 2"));
+        assert!(text.contains("engine_latency_ns_sum{tier=\"topk\"} 703"));
+        assert!(text.contains("engine_latency_ns_count{tier=\"topk\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_text_of_empty_snapshot_is_empty() {
+        assert_eq!(prometheus_text(&MetricsSnapshot::default()), "");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the observability types: JSON round-trips must be
+//! byte-exact on reserialization, and histogram percentiles must be
+//! sound bucket upper bounds of the recorded multiset.
+
+use mcn_obs::{
+    bucket_index, bucket_upper, chrome_trace_json, parse_chrome_trace, prometheus_text, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanEvent,
+};
+use proptest::prelude::*;
+
+const NAMES: [&str; 6] = [
+    "storage.logical_reads",
+    "storage.buffer_hits",
+    "prep.cache.hits",
+    "engine.latency_ns",
+    "queries",
+    "io.physical_reads",
+];
+const LABEL_KEYS: [&str; 3] = ["tier", "region", "worker"];
+const LABEL_VALS: [&str; 4] = ["skyline", "topk", "r0", "w1"];
+const PHASES: [&str; 5] = ["schedule", "prep-lookup", "search", "unpack", "fingerprint"];
+
+fn labels_from(picks: &[(u8, u8)]) -> Vec<(String, String)> {
+    let mut labels: Vec<(String, String)> = picks
+        .iter()
+        .map(|&(k, v)| {
+            (
+                LABEL_KEYS[k as usize % LABEL_KEYS.len()].to_string(),
+                LABEL_VALS[v as usize % LABEL_VALS.len()].to_string(),
+            )
+        })
+        .collect();
+    labels.sort();
+    labels.dedup_by(|a, b| a.0 == b.0);
+    labels
+}
+
+proptest! {
+    /// Histogram snapshots survive JSON round-trips byte-exactly, and the
+    /// stored percentiles are upper bounds of the true order statistics.
+    #[test]
+    fn histogram_snapshot_round_trip_and_percentile_bounds(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+        label_picks in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot("lat", labels_from(&label_picks));
+
+        // Round trip: parse(serialize(x)) == x, reserialization byte-exact.
+        let text = serde::json::to_string_pretty(&snap);
+        let back: HistogramSnapshot = serde::json::from_str(&text).unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(serde::json::to_string_pretty(&back), text);
+
+        // Structural invariants.
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        prop_assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+
+        if values.is_empty() {
+            prop_assert_eq!((snap.p50, snap.p95, snap.p99), (0, 0, 0));
+        } else {
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for (q, got) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let actual = sorted[rank - 1];
+                // Reported value is the log2 bucket upper bound of the true
+                // order statistic, clamped to the observed max.
+                let expect = bucket_upper(bucket_index(actual)).min(*sorted.last().unwrap());
+                prop_assert_eq!(got, expect);
+                prop_assert!(got >= actual);
+            }
+            prop_assert_eq!(snap.max, *sorted.last().unwrap());
+            prop_assert_eq!(snap.min, sorted[0]);
+        }
+    }
+
+    /// Full registry snapshots (counters + gauges + histograms) round-trip
+    /// through JSON byte-exactly, and the Prometheus exposition renders
+    /// every sample without panicking.
+    #[test]
+    fn metrics_snapshot_round_trip(
+        counters in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec((any::<u8>(), any::<u8>()), 0..3), any::<u64>()),
+            0..8,
+        ),
+        gauges in proptest::collection::vec((any::<u8>(), 0.0f64..1e12), 0..4),
+        hist_values in proptest::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let reg = MetricsRegistry::new();
+        for (pick, label_picks, value) in &counters {
+            let labels = labels_from(label_picks);
+            let l: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            reg.counter(NAMES[*pick as usize % NAMES.len()], &l).set(*value);
+        }
+        for (pick, value) in &gauges {
+            reg.gauge(NAMES[*pick as usize % NAMES.len()], &[]).set(*value);
+        }
+        let h = reg.histogram("latency", &[("tier", "skyline")]);
+        for &v in &hist_values {
+            h.record(v);
+        }
+
+        let snap = reg.snapshot();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_json(), text);
+
+        // Snapshot output is sorted by (name, labels).
+        let keys: Vec<_> = snap.counters.iter().map(|c| (c.name.clone(), c.labels.clone())).collect();
+        let mut sorted_keys = keys.clone();
+        sorted_keys.sort();
+        prop_assert_eq!(keys, sorted_keys);
+
+        let exposition = prometheus_text(&snap);
+        let samples = snap.counters.len() + snap.gauges.len();
+        prop_assert!(exposition.lines().filter(|l| !l.starts_with('#')).count() >= samples);
+    }
+
+    /// Span events export to chrome trace JSON that parses back to the
+    /// same events (scaled to microseconds) and reserializes byte-exactly.
+    #[test]
+    fn chrome_trace_round_trip(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u64>(), 0u32..16, 0u64..(u64::MAX / 2), 0u64..1_000_000_000),
+            0..40,
+        )
+    ) {
+        let events: Vec<SpanEvent> = raw
+            .into_iter()
+            .map(|(name, tier, query, worker, start_ns, dur_ns)| SpanEvent {
+                name: PHASES[name as usize % PHASES.len()].to_string(),
+                tier: LABEL_VALS[tier as usize % LABEL_VALS.len()].to_string(),
+                query,
+                worker,
+                start_ns,
+                dur_ns,
+            })
+            .collect();
+        let text = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        prop_assert_eq!(parsed.len(), events.len());
+        for (t, e) in parsed.iter().zip(&events) {
+            prop_assert_eq!(&t.name, &e.name);
+            prop_assert_eq!(&t.cat, &e.tier);
+            prop_assert_eq!(t.args.query, e.query);
+            prop_assert_eq!(t.tid, u64::from(e.worker) + 1);
+            prop_assert!(t.dur >= 0.0);
+            prop_assert_eq!(&t.ph, "X");
+        }
+        prop_assert_eq!(serde::json::to_string_pretty(&parsed), text);
+    }
+}

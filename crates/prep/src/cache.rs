@@ -44,6 +44,22 @@ impl PrepCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publish these counters into a metrics registry under the given
+    /// labels (absolute values, so re-publishing is idempotent; keep one
+    /// publisher per label set when exact reconciliation matters).
+    pub fn publish(&self, registry: &mcn_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.counter("prep.cache.hits", labels).set(self.hits);
+        registry
+            .counter("prep.cache.misses", labels)
+            .set(self.misses);
+        registry
+            .counter("prep.cache.evictions", labels)
+            .set(self.evictions);
+        registry
+            .gauge("prep.cache.hit_ratio", labels)
+            .set(self.hit_ratio());
+    }
 }
 
 struct CacheInner {
@@ -197,6 +213,36 @@ impl PrepCache {
         }
         // Scan outside the lock so other targets proceed concurrently.
         let table = Arc::new(PrepTable::build(graph, target));
+        self.insert(table)
+    }
+
+    /// [`PrepCache::get_or_build`] with lifecycle spans: a `prep-lookup`
+    /// span around the cache probe and, on a miss, a `prep-build` span
+    /// around the backward scan (the insert stays outside the span so it
+    /// times the scan, not lock contention). With `obs == None` this is
+    /// exactly `get_or_build`.
+    pub fn get_or_build_observed(
+        &self,
+        graph: &MultiCostGraph,
+        target: NodeId,
+        obs: Option<&mcn_obs::Obs>,
+        tier: &str,
+        query: u64,
+    ) -> Arc<PrepTable> {
+        let Some(obs) = obs else {
+            return self.get_or_build(graph, target);
+        };
+        let hit = {
+            let _span = obs.span("prep-lookup", tier, query);
+            self.get(target)
+        };
+        if let Some(table) = hit {
+            return table;
+        }
+        let table = {
+            let _span = obs.span("prep-build", tier, query);
+            Arc::new(PrepTable::build(graph, target))
+        };
         self.insert(table)
     }
 
@@ -481,6 +527,64 @@ mod tests {
         std::fs::write(dir.join("README.txt"), "not a table").unwrap();
         assert_eq!(PrepCache::new(4).load_dir(&g, &dir).unwrap(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hit_ratio_guards_the_zero_sample_case() {
+        assert_eq!(PrepCacheStats::default().hit_ratio(), 0.0);
+        let misses_only = PrepCacheStats {
+            hits: 0,
+            misses: 5,
+            evictions: 0,
+        };
+        assert_eq!(misses_only.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn publish_mirrors_counters_into_registry() {
+        let g = line(6);
+        let cache = PrepCache::new(1);
+        cache.get_or_build(&g, NodeId::new(1));
+        cache.get_or_build(&g, NodeId::new(1));
+        cache.get_or_build(&g, NodeId::new(2));
+        let registry = mcn_obs::MetricsRegistry::new();
+        cache.stats().publish(&registry, &[]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("prep.cache.hits", &[]), Some(1));
+        assert_eq!(snap.counter_value("prep.cache.misses", &[]), Some(2));
+        assert_eq!(snap.counter_value("prep.cache.evictions", &[]), Some(1));
+        assert!(
+            (snap.gauge_value("prep.cache.hit_ratio", &[]).unwrap() - cache.stats().hit_ratio())
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn observed_get_or_build_records_lookup_and_build_spans() {
+        let g = line(6);
+        let cache = PrepCache::new(2);
+        let clock = Arc::new(mcn_obs::ManualClock::with_step(0, 100));
+        let obs = mcn_obs::Obs::with_clock(clock);
+        obs.set_tracing(true);
+
+        // Miss: lookup + build spans; hit: lookup span only.
+        let a = cache.get_or_build_observed(&g, NodeId::new(3), Some(&obs), "path-skyline", 7);
+        let b = cache.get_or_build_observed(&g, NodeId::new(3), Some(&obs), "path-skyline", 8);
+        assert!(Arc::ptr_eq(&a, &b));
+        let events = obs.tracer().drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["prep-lookup", "prep-build", "prep-lookup"]);
+        assert!(events.iter().all(|e| e.tier == "path-skyline"));
+        assert_eq!(events[0].query, 7);
+        assert_eq!(events[2].query, 8);
+        // The stepping clock gives every span an exact 100 ns duration.
+        assert!(events.iter().all(|e| e.dur_ns == 100));
+
+        // Without a context the observed variant is plain get_or_build.
+        let c = cache.get_or_build_observed(&g, NodeId::new(3), None, "path-skyline", 9);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert!(obs.tracer().is_empty());
     }
 
     #[test]

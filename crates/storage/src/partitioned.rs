@@ -439,6 +439,30 @@ impl StoreView for PartitionedStore {
         total
     }
 
+    fn publish_metrics(&self, registry: &mcn_obs::MetricsRegistry) {
+        // Per-region snapshots first, then their sum as the unlabelled
+        // aggregate, so the aggregate is exactly the sum of what was
+        // published per region.
+        let per_region = self.per_region_stats();
+        let mut total = IoStats::default();
+        for (r, stats) in per_region.iter().enumerate() {
+            let region = format!("r{r}");
+            stats.publish(registry, &[("region", region.as_str())]);
+            total.accumulate(stats);
+        }
+        total.publish(registry, &[]);
+        let traffic = self.region_traffic();
+        registry
+            .counter("storage.home_reads", &[])
+            .set(traffic.home_reads);
+        registry
+            .counter("storage.cross_reads", &[])
+            .set(traffic.cross_reads);
+        registry
+            .gauge("storage.cross_fraction", &[])
+            .set(traffic.cross_fraction());
+    }
+
     fn clear_buffers(&self) {
         for store in &self.regions {
             store.buffer().clear();
@@ -584,6 +608,75 @@ mod tests {
         assert_eq!(total.logical_reads, summed);
         assert!(total.logical_reads > 0);
         assert_eq!(total.logical_reads, total.buffer_hits + total.buffer_misses);
+    }
+
+    #[test]
+    fn cross_fraction_guards_the_zero_sample_case() {
+        assert_eq!(RegionTraffic::default().cross_fraction(), 0.0);
+        let t = RegionTraffic {
+            home_reads: 3,
+            cross_reads: 1,
+        };
+        assert!((t.cross_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_metrics_exposes_per_region_and_aggregate_counters() {
+        let g = random_graph(7, 150, 80, 60);
+        let part = build(&g, 3);
+        StoreView::clear_buffers(&part);
+        let home_node = g
+            .nodes()
+            .find(|n| part.region_of(n.id) == RegionId::new(0))
+            .unwrap()
+            .id;
+        with_seed_region(RegionId::new(0), || {
+            for node in g.nodes() {
+                let _ = StoreView::adjacency(&part, node.id);
+            }
+            let _ = StoreView::adjacency(&part, home_node);
+        });
+
+        let registry = mcn_obs::MetricsRegistry::new();
+        StoreView::publish_metrics(&part, &registry);
+        let snap = registry.snapshot();
+
+        // Aggregate reconciles exactly with io_stats and with the sum of
+        // the per-region series.
+        let total = StoreView::io_stats(&part);
+        assert_eq!(
+            snap.counter_value("storage.logical_reads", &[]),
+            Some(total.logical_reads)
+        );
+        let mut per_region_sum = 0;
+        for r in 0..3 {
+            let region = format!("r{r}");
+            per_region_sum += snap
+                .counter_value("storage.logical_reads", &[("region", region.as_str())])
+                .unwrap();
+        }
+        assert_eq!(per_region_sum, total.logical_reads);
+        assert_eq!(
+            snap.counter_value("storage.buffer_hits", &[]).unwrap()
+                + snap.counter_value("storage.buffer_misses", &[]).unwrap(),
+            total.logical_reads
+        );
+
+        // Traffic counters and the guarded fraction ride along.
+        let traffic = part.region_traffic();
+        assert_eq!(
+            snap.counter_value("storage.home_reads", &[]),
+            Some(traffic.home_reads)
+        );
+        assert_eq!(
+            snap.counter_value("storage.cross_reads", &[]),
+            Some(traffic.cross_reads)
+        );
+        assert!(
+            (snap.gauge_value("storage.cross_fraction", &[]).unwrap() - traffic.cross_fraction())
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -45,6 +45,39 @@ impl IoStats {
         self.physical_reads as f64 * latency
     }
 
+    /// Publish this snapshot into a metrics registry under the given
+    /// labels (absolute values, so re-publishing is idempotent).
+    ///
+    /// Because the counters come from one consistent [`IoStats`] snapshot
+    /// (see `BufferPool::stats`), the published metrics reconcile exactly:
+    /// `storage.logical_reads == storage.buffer_hits + storage.buffer_misses`
+    /// and `storage.physical_reads ≤ storage.buffer_misses`. The five
+    /// counter stores are not atomic as a group, though — when several
+    /// threads publish under the same labels concurrently, a reader may
+    /// observe a mix of two snapshots. Keep one publisher per label set
+    /// (the engine publishes once per batch) when byte-exact reconciliation
+    /// matters.
+    pub fn publish(&self, registry: &mcn_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        registry
+            .counter("storage.logical_reads", labels)
+            .set(self.logical_reads);
+        registry
+            .counter("storage.buffer_hits", labels)
+            .set(self.buffer_hits);
+        registry
+            .counter("storage.buffer_misses", labels)
+            .set(self.buffer_misses);
+        registry
+            .counter("storage.physical_reads", labels)
+            .set(self.physical_reads);
+        registry
+            .counter("storage.physical_writes", labels)
+            .set(self.physical_writes);
+        registry
+            .gauge("storage.hit_ratio", labels)
+            .set(self.hit_ratio());
+    }
+
     /// Adds another snapshot's counters to this one.
     pub fn accumulate(&mut self, other: &IoStats) {
         self.logical_reads += other.logical_reads;
@@ -121,5 +154,46 @@ mod tests {
         assert_eq!(acc, a);
         // Saturation instead of underflow.
         assert_eq!((b - a).logical_reads, 0);
+    }
+
+    #[test]
+    fn publish_mirrors_counters_into_registry() {
+        let s = IoStats {
+            logical_reads: 10,
+            buffer_hits: 7,
+            buffer_misses: 3,
+            physical_reads: 2,
+            physical_writes: 1,
+        };
+        let registry = mcn_obs::MetricsRegistry::new();
+        s.publish(&registry, &[("region", "r0")]);
+        let snap = registry.snapshot();
+        let labels = [("region", "r0")];
+        assert_eq!(
+            snap.counter_value("storage.logical_reads", &labels),
+            Some(10)
+        );
+        assert_eq!(snap.counter_value("storage.buffer_hits", &labels), Some(7));
+        assert_eq!(
+            snap.counter_value("storage.buffer_misses", &labels),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter_value("storage.physical_reads", &labels),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("storage.physical_writes", &labels),
+            Some(1)
+        );
+        assert!((snap.gauge_value("storage.hit_ratio", &labels).unwrap() - 0.7).abs() < 1e-12);
+        // Republishing is idempotent (absolute values, not increments).
+        s.publish(&registry, &[("region", "r0")]);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("storage.logical_reads", &labels),
+            Some(10)
+        );
     }
 }

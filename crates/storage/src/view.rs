@@ -59,6 +59,14 @@ pub trait StoreView: Send + Sync + 'static {
     /// Snapshot of the I/O counters (aggregated over shards).
     fn io_stats(&self) -> IoStats;
 
+    /// Publish the current I/O counters into a metrics registry
+    /// (absolute values; see [`IoStats::publish`] for the reconciliation
+    /// guarantees). A partitioned store additionally publishes per-region
+    /// counters and home/cross traffic.
+    fn publish_metrics(&self, registry: &mcn_obs::MetricsRegistry) {
+        self.io_stats().publish(registry, &[]);
+    }
+
     /// Empties every buffer pool and resets its hit/miss counters.
     fn clear_buffers(&self);
 

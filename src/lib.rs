@@ -27,6 +27,10 @@
 //! * [`index`] — the hierarchical partial-path route index: multi-cost
 //!   contraction hierarchy with Pareto shortcut bundles, bidirectional
 //!   upward queries byte-identical to the prep-backed tier.
+//! * [`obs`] — observability: the metrics registry (counters, gauges,
+//!   log2 latency histograms), query-lifecycle span tracing with
+//!   chrome://tracing export, Prometheus text exposition, and the
+//!   `Clock` abstraction used by every timing path.
 //! * [`gen`] — synthetic workload generation matching the paper's Section VI.
 //! * [`io`] — loaders/writers for common road-network file formats.
 
@@ -41,6 +45,7 @@ pub use mcn_graph as graph;
 pub use mcn_index as index;
 pub use mcn_io as io;
 pub use mcn_mcpp as mcpp;
+pub use mcn_obs as obs;
 pub use mcn_prep as prep;
 pub use mcn_skyline as skyline;
 pub use mcn_storage as storage;
